@@ -1,0 +1,57 @@
+"""Benchmark + reproduction of Fig. 4 (SS V.C): clearance times.
+
+Regenerates the average-intersection-clearance-time figure and asserts
+the paper's ordering: nominal is fastest; congestion, conflict and the
+attacks are slower; trajectory spoofing is the worst offender.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import aggregate_suite
+from repro.experiments import run_suite
+from repro.experiments.fig4 import clearance_rows, generate
+from repro.experiments.table2 import SCENARIO_ORDER
+from repro.sim import ScenarioType
+
+from conftest import BENCH_SEEDS
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_suite(SCENARIO_ORDER, seeds=BENCH_SEEDS)
+
+
+def test_fig4_reproduction(benchmark, campaign):
+    benchmark.pedantic(
+        lambda: run_suite((ScenarioType.SPOOF_ATTACK,), seeds=BENCH_SEEDS[:2]),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + generate(results=campaign))
+
+    aggregates = aggregate_suite(campaign)
+    rows = {label: mean for label, mean, _, n in clearance_rows(aggregates) if n > 0}
+
+    nominal = aggregates[ScenarioType.NOMINAL].clearance
+    spoof = aggregates[ScenarioType.SPOOF_ATTACK].clearance
+    ghost = aggregates[ScenarioType.GHOST_ATTACK].clearance
+    congested = aggregates[ScenarioType.CONGESTED].clearance
+    assert nominal is not None
+
+    # Shape: nominal is the fastest crossing.
+    for scenario in SCENARIO_ORDER:
+        clearance = aggregates[scenario].clearance
+        if clearance is not None:
+            assert clearance.mean >= nominal.mean - 1.0
+
+    # Shape: attacks cost real time (sharp stops / over-caution, SS V.C).
+    if ghost is not None:
+        assert ghost.mean > nominal.mean + 2.0
+    if spoof is not None:
+        assert spoof.mean > nominal.mean + 2.0
+    # Shape: spoofing is at least as costly as plain congestion.
+    if spoof is not None and congested is not None:
+        assert spoof.mean >= congested.mean - 2.0
+    assert rows  # the figure has data

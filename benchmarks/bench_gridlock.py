@@ -1,0 +1,48 @@
+"""Benchmark + reproduction of the SS V.B gridlock analysis.
+
+Under trajectory spoofing the paper reports 20% of runs ending 'stuck',
+broken only by simulation timeout.  This bench regenerates the analysis
+and asserts that gridlock (a) occurs and (b) only occurs under spoofing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_once
+from repro.experiments.gridlock import generate, measure
+from repro.sim import ScenarioType
+
+from conftest import BENCH_SEEDS
+
+
+@pytest.fixture(scope="module")
+def spoof_outcomes():
+    # Gridlock is a ~20% event: always use the paper's full 15 seeds so
+    # the assertion is statistically meaningful.
+    seeds = BENCH_SEEDS if len(BENCH_SEEDS) >= 15 else tuple(range(15))
+    return measure(seeds=seeds)
+
+
+def test_gridlock_reproduction(benchmark, spoof_outcomes):
+    benchmark.pedantic(
+        lambda: run_once(ScenarioType.SPOOF_ATTACK, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + generate(outcomes=spoof_outcomes))
+
+    gridlocked = [o for o in spoof_outcomes if o.gridlocked]
+    n = len(spoof_outcomes)
+    # Shape: the stuck outcome exists under spoofing...
+    assert gridlocked, "expected at least one gridlocked spoof run"
+    # ...at a minority rate (the paper reports 20%).
+    assert len(gridlocked) / n <= 0.6
+    # Gridlocked runs never cleared and ran to the timeout.
+    for outcome in gridlocked:
+        assert outcome.clearance_time is None
+        assert outcome.timed_out
+
+    # Control: nominal runs never gridlock.
+    for seed in BENCH_SEEDS[:4]:
+        assert not run_once(ScenarioType.NOMINAL, seed).gridlocked

@@ -1,0 +1,57 @@
+"""Benchmark + reproduction of Table II (SS V.A).
+
+Regenerates the safety-monitor-activation / collision-rate table across
+the six scenarios and asserts the paper's qualitative shape:
+
+* flag-rate ordering: nominal is the safest scene, the attacks the worst,
+  with the ghost obstacle near the ceiling;
+* collisions occur in (at most) a small fraction of runs — far below the
+  flag rates — because the recovery loop works.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import aggregate_suite
+from repro.experiments import run_suite
+from repro.experiments.table2 import SCENARIO_ORDER, generate
+from repro.sim import ScenarioType
+
+from conftest import BENCH_SEEDS
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_suite(SCENARIO_ORDER, seeds=BENCH_SEEDS)
+
+
+def test_table2_reproduction(benchmark, campaign):
+    # The benchmark times one scenario's seeded sweep (the unit of work the
+    # campaign scales with); the full suite result is reused for the table.
+    benchmark.pedantic(
+        lambda: run_suite((ScenarioType.NOMINAL,), seeds=BENCH_SEEDS[:2]),
+        rounds=1,
+        iterations=1,
+    )
+    table = generate(results=campaign)
+    print("\n" + table)
+
+    aggregates = aggregate_suite(campaign)
+    flag = {s: aggregates[s].monitor_flag_rate.fraction for s in SCENARIO_ORDER}
+    collision = {s: aggregates[s].collision_rate.fraction for s in SCENARIO_ORDER}
+
+    # Shape 1: nominal is the cleanest scene.
+    assert flag[ScenarioType.NOMINAL] <= min(
+        flag[ScenarioType.CONFLICTING],
+        flag[ScenarioType.GHOST_ATTACK],
+        flag[ScenarioType.SPOOF_ATTACK],
+    )
+    # Shape 2: the ghost obstacle attack is at/near the flag ceiling.
+    assert flag[ScenarioType.GHOST_ATTACK] >= 0.8
+    # Shape 3: attacks trigger the monitor more than nominal driving.
+    assert flag[ScenarioType.SPOOF_ATTACK] > flag[ScenarioType.NOMINAL]
+    # Shape 4: collisions are rare relative to monitor flags (recovery works).
+    for scenario in SCENARIO_ORDER:
+        assert collision[scenario] <= flag[scenario] or flag[scenario] == 0.0
+    assert collision[ScenarioType.NOMINAL] == 0.0

@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's artifacts (table or figure)
+and asserts the qualitative *shape* the paper reports.  The campaign
+benches default to a reduced seed count so the suite stays minutes-scale;
+set ``REPRO_BENCH_SEEDS=15`` to reproduce the paper's full 15-runs-per-
+scenario evaluation.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Seeds per scenario used by campaign-level benchmarks.
+BENCH_SEEDS = tuple(range(int(os.environ.get("REPRO_BENCH_SEEDS", "6"))))

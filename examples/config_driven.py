@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Config-driven V&V: the whole role stack defined as data.
+
+The paper's workflow begins with "Controller loads configuration,
+initializes roles" (§III.C).  This example keeps the entire experiment —
+role types, instance names, dependencies, triggers and parameters — in a
+JSON document, loads it through the role registry, and runs it.  Swapping
+the monitor implementation or the recovery strategy is a one-line config
+change, no code.
+
+Run::
+
+    python examples/config_driven.py
+"""
+
+import json
+
+from repro import (
+    OrchestrationController,
+    OrchestratorConfig,
+    ScenarioType,
+    build_report,
+    build_scenario,
+)
+from repro.env import IntersectionSimInterface
+from repro.roles import FaultPipeline, build_role_graph
+
+#: The experiment as data.  Note the STL monitor running *alongside* the
+#: geometric one, and a recovery gated on the geometric monitor's verdict.
+EXPERIMENT_CONFIG = json.loads(
+    """
+[
+    {"role": "LLMGeneratorRole", "name": "Generator"},
+    {
+        "role": "GeometricSafetyMonitor",
+        "name": "SafetyMonitor",
+        "params": {"unsafe_distance": 1.0, "horizon_s": 1.0}
+    },
+    {
+        "role": "STLSafetyMonitor",
+        "name": "STLMonitor",
+        "after": ["Generator"],
+        "params": {"formula": "G[0,0.5] (min_separation >= 0.5 | ego_speed <= 0.5)"}
+    },
+    {"role": "ScriptedSecurityAssessor", "name": "SecurityAssessor",
+     "after": ["SafetyMonitor", "STLMonitor"]},
+    {"role": "FaultInjectorRole", "name": "FaultInjector"},
+    {"role": "IntersectionPerformanceOracle", "name": "PerformanceOracle"},
+    {
+        "role": "EmergencyBrakeRecovery",
+        "name": "RecoveryPlanner",
+        "trigger": {"type": "on_verdict", "role": "SafetyMonitor",
+                    "verdicts": ["fail"]}
+    }
+]
+"""
+)
+
+
+def main() -> None:
+    spec = build_scenario(ScenarioType.GHOST_ATTACK, seed=1)
+    pipeline = FaultPipeline(seed=spec.seed)
+    graph = build_role_graph(
+        EXPERIMENT_CONFIG,
+        resources={"pipeline": pipeline, "attack_plan": spec.attack},
+    )
+    environment = IntersectionSimInterface(spec, pipeline=pipeline)
+    controller = OrchestrationController(
+        graph,
+        environment,
+        OrchestratorConfig(max_iterations=int(spec.timeout_s / 0.1) + 10),
+    )
+    result = controller.run()
+
+    print(f"roles (execution order): "
+          f"{[s.name for s in controller.graph.execution_order()]}")
+    print(build_report(result))
+
+
+if __name__ == "__main__":
+    main()

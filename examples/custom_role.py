@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Extensibility demo (§III.D): plug a custom role into the loop.
+
+Defines a new V&V role from scratch — a *GridlockSentinel* that watches
+the ego's progress and raises a performance violation when the vehicle has
+been stationary in front of the intersection for too long (the paper's
+§V.B 'stuck' pathology, detected online instead of post-hoc).  The role is
+wired into the standard stack with a trigger so it only runs once the ego
+could plausibly be stuck.
+
+Run::
+
+    python examples/custom_role.py
+"""
+
+from repro import (
+    OrchestrationController,
+    OrchestratorConfig,
+    Role,
+    RoleContext,
+    RoleGraph,
+    RoleKind,
+    RoleResult,
+    ScenarioType,
+    Verdict,
+    build_scenario,
+)
+from repro.core.triggers import After
+from repro.env import IntersectionSimInterface
+from repro.roles import (
+    EmergencyBrakeRecovery,
+    FaultInjectorRole,
+    FaultPipeline,
+    GeometricSafetyMonitor,
+    IntersectionPerformanceOracle,
+    LLMGeneratorRole,
+    ScriptedSecurityAssessor,
+)
+
+
+class GridlockSentinel(Role):
+    """Flags the run when the ego sits still before the box too long.
+
+    Demonstrates the custom-role recipe: subclass
+    :class:`~repro.core.role.Role`, pick a :class:`RoleKind` (which decides
+    the violation category), read world state from the context, and return
+    a :class:`RoleResult`.
+    """
+
+    kind = RoleKind.PERFORMANCE_ORACLE
+
+    def __init__(self, patience_s: float = 15.0, name: str = "GridlockSentinel") -> None:
+        super().__init__(name)
+        self.patience_s = patience_s
+        self._stationary_since = None
+        self._flagged = False
+
+    def reset(self) -> None:
+        self._stationary_since = None
+        self._flagged = False
+
+    def execute(self, context: RoleContext) -> RoleResult:
+        speed = context.state.world("ego_speed", 0.0)
+        in_box = context.state.world("in_intersection", False)
+        cleared = context.state.world("ego_cleared", False)
+
+        if cleared or in_box or speed > 0.5:
+            self._stationary_since = None
+            return RoleResult(verdict=Verdict.PASS)
+
+        if self._stationary_since is None:
+            self._stationary_since = context.time
+        stuck_for = context.time - self._stationary_since
+        if stuck_for >= self.patience_s and not self._flagged:
+            self._flagged = True
+            return RoleResult(
+                verdict=Verdict.FAIL,
+                data={"stuck_for_s": stuck_for},
+                narrative=f"ego stationary for {stuck_for:.1f} s before the "
+                "intersection — possible gridlock",
+            )
+        return RoleResult(verdict=Verdict.PASS, scores={"stuck_for_s": stuck_for})
+
+
+def build_stack(seed: int) -> OrchestrationController:
+    """The paper's role stack plus the custom sentinel."""
+    spec = build_scenario(ScenarioType.SPOOF_ATTACK, seed)
+    pipeline = FaultPipeline(seed=spec.seed)
+    environment = IntersectionSimInterface(spec, pipeline=pipeline)
+
+    graph = RoleGraph()
+    graph.add(LLMGeneratorRole(name="Generator"))
+    graph.add(GeometricSafetyMonitor(name="SafetyMonitor"), after=["Generator"])
+    graph.add(
+        ScriptedSecurityAssessor(
+            plan=spec.attack, repeat_period=spec.attack.duration + 2.0, name="SecurityAssessor"
+        ),
+        after=["SafetyMonitor"],
+    )
+    graph.add(
+        FaultInjectorRole(pipeline, name="FaultInjector"), after=["SecurityAssessor"]
+    )
+    graph.add(IntersectionPerformanceOracle(name="PerformanceOracle"), after=["FaultInjector"])
+    # The sentinel only starts watching once the ego could have arrived.
+    graph.add(GridlockSentinel(patience_s=15.0), after=["PerformanceOracle"], trigger=After(5.0))
+    graph.add(EmergencyBrakeRecovery(name="RecoveryPlanner"), after=["GridlockSentinel"])
+
+    config = OrchestratorConfig(max_iterations=int(spec.timeout_s / 0.1) + 10)
+    return OrchestrationController(graph, environment, config)
+
+
+def main() -> None:
+    for seed in range(6):
+        controller = build_stack(seed)
+        result = controller.run()
+        sentinel_hits = [
+            v for v in result.metrics.violations_of("performance")
+            if v.role == "GridlockSentinel"
+        ]
+        info = result.environment_info
+        verdict = "GRIDLOCK flagged online" if sentinel_hits else "progressed"
+        print(
+            f"seed {seed}: {verdict:24s} cleared={info['clearance_time'] is not None} "
+            f"timed_out={info['timed_out']}"
+        )
+        for hit in sentinel_hits:
+            print(f"    -> {hit.detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""The paper's full evaluation campaign, at example scale.
+
+Reproduces Table II, Fig. 4 and the gridlock analysis over a configurable
+number of seeds per scenario (default 5 for a minutes-scale run; the paper
+uses 15 — pass it as the first argument).
+
+Run::
+
+    python examples/intersection_case_study.py [seeds]
+"""
+
+import sys
+
+from repro.experiments import runner
+
+
+def main() -> None:
+    seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    print(f"Running the 6-scenario campaign with {seeds} seeds each...\n")
+    print(runner.run_evaluation(seeds=tuple(range(seeds))))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Post-hoc analysis: aggregation, statistics and rendering."""
+
+from .aggregate import (
+    ScenarioAggregate,
+    aggregate_scenario,
+    aggregate_suite,
+    overall_average,
+)
+from .export import load_jsonl, to_csv, to_jsonl
+from .stats import MeanStd, Rate, mean, sample_std
+from .tables import render_bar_chart, render_table
+from .trace_checks import PropertyVerdict, check_trace, frames_to_trace, summarize
+
+__all__ = [
+    "ScenarioAggregate",
+    "aggregate_scenario",
+    "aggregate_suite",
+    "overall_average",
+    "Rate",
+    "MeanStd",
+    "mean",
+    "sample_std",
+    "render_table",
+    "render_bar_chart",
+    "to_csv",
+    "to_jsonl",
+    "load_jsonl",
+    "check_trace",
+    "frames_to_trace",
+    "PropertyVerdict",
+    "summarize",
+]

@@ -1,0 +1,71 @@
+"""Per-scenario aggregation of campaign run outcomes.
+
+Reduces the raw :class:`~repro.experiments.campaign.RunOutcome` lists into
+the quantities the paper reports: monitor-flag rate and collision rate
+(Table II), clearance-time mean ± std (Fig. 4), gridlock rate (§V.B) and
+recovery statistics (§V.D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..experiments.campaign import RunOutcome
+from ..sim.scenario import ScenarioType
+from .stats import MeanStd, Rate
+
+
+@dataclass(frozen=True)
+class ScenarioAggregate:
+    """Summary of one scenario's N seeded runs."""
+
+    scenario: str
+    runs: int
+    monitor_flag_rate: Rate
+    collision_rate: Rate
+    gridlock_rate: Rate
+    clearance: Optional[MeanStd]
+    mean_safety_flags: float
+    mean_recovery_activations: float
+    mean_comfort_violations: float
+    mean_faults: float
+
+
+def aggregate_scenario(scenario: str, outcomes: Sequence[RunOutcome]) -> ScenarioAggregate:
+    """Reduce one scenario's runs to the reported statistics."""
+    if not outcomes:
+        raise ValueError(f"no outcomes for scenario {scenario!r}")
+    n = len(outcomes)
+    clearances = [o.clearance_time for o in outcomes if o.clearance_time is not None]
+    return ScenarioAggregate(
+        scenario=scenario,
+        runs=n,
+        monitor_flag_rate=Rate(sum(1 for o in outcomes if o.monitor_flagged), n),
+        collision_rate=Rate(sum(1 for o in outcomes if o.collision), n),
+        gridlock_rate=Rate(sum(1 for o in outcomes if o.gridlocked), n),
+        clearance=MeanStd.of(clearances),
+        mean_safety_flags=sum(o.safety_flag_count for o in outcomes) / n,
+        mean_recovery_activations=sum(o.recovery_activations for o in outcomes) / n,
+        mean_comfort_violations=sum(o.comfort_violations for o in outcomes) / n,
+        mean_faults=sum(o.faults_injected for o in outcomes) / n,
+    )
+
+
+def aggregate_suite(
+    results: Dict[ScenarioType, List[RunOutcome]]
+) -> "Dict[ScenarioType, ScenarioAggregate]":
+    """Aggregate every scenario of a campaign."""
+    return {
+        scenario_type: aggregate_scenario(scenario_type.value, outcomes)
+        for scenario_type, outcomes in results.items()
+    }
+
+
+def overall_average(aggregates: Sequence[ScenarioAggregate]) -> "tuple[float, float]":
+    """(mean flag %, mean collision %) across scenarios — Table II's last row."""
+    if not aggregates:
+        raise ValueError("no aggregates to average")
+    flag = sum(a.monitor_flag_rate.percent for a in aggregates) / len(aggregates)
+    collision = sum(a.collision_rate.percent for a in aggregates) / len(aggregates)
+    return flag, collision

@@ -1,0 +1,58 @@
+"""Export campaign outcomes for downstream analysis.
+
+Writes :class:`~repro.experiments.campaign.RunOutcome` collections to CSV
+or JSON Lines so results can be post-processed outside this library
+(pandas, R, spreadsheets) — the raw material behind Table II / Fig. 4.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..experiments.campaign import RunOutcome
+
+#: Column order for CSV export (RunOutcome field order).
+FIELDS = [field.name for field in dataclasses.fields(RunOutcome)]
+
+
+def _flatten(results: Union[Dict, Iterable[RunOutcome]]) -> List[RunOutcome]:
+    if isinstance(results, dict):
+        return [outcome for group in results.values() for outcome in group]
+    return list(results)
+
+
+def to_csv(results: Union[Dict, Iterable[RunOutcome]], path: Union[str, Path]) -> int:
+    """Write outcomes as CSV; returns the number of rows written."""
+    outcomes = _flatten(results)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        writer.writeheader()
+        for outcome in outcomes:
+            writer.writerow(dataclasses.asdict(outcome))
+    return len(outcomes)
+
+
+def to_jsonl(results: Union[Dict, Iterable[RunOutcome]], path: Union[str, Path]) -> int:
+    """Write outcomes as JSON Lines; returns the number of rows written."""
+    outcomes = _flatten(results)
+    path = Path(path)
+    with path.open("w") as handle:
+        for outcome in outcomes:
+            handle.write(json.dumps(dataclasses.asdict(outcome)) + "\n")
+    return len(outcomes)
+
+
+def load_jsonl(path: Union[str, Path]) -> List[RunOutcome]:
+    """Read outcomes back from a JSON Lines export."""
+    outcomes: List[RunOutcome] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                outcomes.append(RunOutcome(**json.loads(line)))
+    return outcomes

@@ -1,0 +1,68 @@
+"""Small statistics helpers used by the analysis and experiment modules."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Rate:
+    """A count out of a total, rendered the way the paper reports rates
+    (e.g. ``86.7% (13/15)``)."""
+
+    count: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.total < 0 or self.count < 0:
+            raise ValueError(f"counts must be non-negative: {self.count}/{self.total}")
+        if self.count > self.total:
+            raise ValueError(f"count {self.count} exceeds total {self.total}")
+
+    @property
+    def fraction(self) -> float:
+        return self.count / self.total if self.total else 0.0
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.fraction
+
+    def __str__(self) -> str:
+        return f"{self.percent:.1f}% ({self.count}/{self.total})"
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 for fewer than two samples."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """Mean ± standard deviation of a sample (Fig. 4's error bars)."""
+
+    mean: float
+    std: float
+    n: int
+
+    @staticmethod
+    def of(values: Sequence[float]) -> Optional["MeanStd"]:
+        """Summary of ``values``; ``None`` for an empty sample."""
+        if not values:
+            return None
+        return MeanStd(mean=mean(values), std=sample_std(values), n=len(values))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.std:.1f} (n={self.n})"

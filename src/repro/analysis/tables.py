@@ -1,0 +1,71 @@
+"""Plain-text table and bar-chart rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Every row must have ``len(headers)`` cells; all cells are strings.
+    """
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(str(row[c])) for row in rows)) if rows else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(widths[c]) for c, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    errors: Optional[Sequence[float]] = None,
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Render a horizontal ASCII bar chart (the Fig. 4 stand-in).
+
+    Bars are scaled to the maximum value; optional ``errors`` print as
+    ``± e`` annotations, standing in for the paper's error bars.
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels vs {len(values)} values")
+    if errors is not None and len(errors) != len(values):
+        raise ValueError(f"{len(errors)} errors vs {len(values)} values")
+    peak = max(values, default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for i, (label, value) in enumerate(zip(labels, values)):
+        bar_len = 0 if peak <= 0 else int(round(width * value / peak))
+        bar = "#" * bar_len
+        annotation = f"{value:.1f}{unit}"
+        if errors is not None:
+            annotation += f" ± {errors[i]:.1f}"
+        lines.append(f"{label.ljust(label_width)} | {bar} {annotation}")
+    return "\n".join(lines)

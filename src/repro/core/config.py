@@ -1,0 +1,52 @@
+"""Orchestrator configuration.
+
+Everything that tunes the assurance loop without changing code lives here;
+role-specific settings travel in ``role_config`` and reach roles through
+their :class:`~repro.core.role.RoleContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .errors import ConfigurationError
+
+
+@dataclass
+class OrchestratorConfig:
+    """Settings for one orchestration run.
+
+    Attributes:
+        max_iterations: hard cap on assurance-loop iterations (termination
+            criterion per §III.B.1); ``None`` means run until the
+            environment reports done.
+        halt_on_violation: stop the loop the first time any role reports a
+            FAIL verdict (the paper's "violation detected" termination
+            option).  Default off: the use case keeps running and lets the
+            RecoveryPlanner act.
+        continue_on_role_error: when True, a raising role is logged as a
+            ``role_error`` violation and the loop continues; when False the
+            error propagates as :class:`~repro.core.errors.RoleExecutionError`.
+        history_limit: StateManager history bound (iterations).
+        keep_event_log: retain the full event trail (memory vs evidence).
+        role_config: free-form per-role settings, surfaced verbatim via
+            ``RoleContext.config``.
+    """
+
+    max_iterations: Optional[int] = 2000
+    halt_on_violation: bool = False
+    continue_on_role_error: bool = False
+    history_limit: Optional[int] = 2000
+    keep_event_log: bool = True
+    role_config: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is not None and self.max_iterations <= 0:
+            raise ConfigurationError(
+                f"max_iterations must be positive or None, got {self.max_iterations}"
+            )
+        if self.history_limit is not None and self.history_limit <= 0:
+            raise ConfigurationError(
+                f"history_limit must be positive or None, got {self.history_limit}"
+            )

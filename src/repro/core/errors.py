@@ -1,0 +1,41 @@
+"""Exception hierarchy of the orchestration framework.
+
+All framework errors derive from :class:`DuraCPSError` so applications can
+catch everything the framework raises with a single clause while letting
+genuine programming errors (TypeError and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class DuraCPSError(Exception):
+    """Base class for all framework errors."""
+
+
+class ConfigurationError(DuraCPSError):
+    """Invalid orchestrator, role or scheduling configuration."""
+
+
+class SchedulingError(ConfigurationError):
+    """Role dependency graph is unsatisfiable (cycle, unknown role, ...)."""
+
+
+class RoleExecutionError(DuraCPSError):
+    """A role raised during execution.
+
+    The orchestrator wraps the original exception so the failing role is
+    identifiable in logs and assurance reports.
+    """
+
+    def __init__(self, role_name: str, cause: BaseException) -> None:
+        super().__init__(f"role {role_name!r} failed: {cause!r}")
+        self.role_name = role_name
+        self.cause = cause
+
+
+class EnvironmentInterfaceError(DuraCPSError):
+    """The environment interface failed to observe, apply or step."""
+
+
+class StateError(DuraCPSError):
+    """Inconsistent shared-state access (missing keys, wrong iteration)."""

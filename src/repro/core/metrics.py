@@ -1,0 +1,190 @@
+"""DependabilityMetrics: quantitative evidence collection (§III.B.5).
+
+Collects exactly the categories the paper lists: violation counts by type,
+performance series over time, robustness scores, fault-injection records,
+recovery activations/outcomes, and per-role processing time.  The collector
+is deliberately write-mostly during a run; analysis happens afterwards on
+the immutable summary.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One detected violation (safety, security or performance)."""
+
+    category: str
+    role: str
+    iteration: int
+    time: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault/attack injection occurrence."""
+
+    kind: str
+    iteration: int
+    time: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One recovery activation and, once known, its outcome."""
+
+    iteration: int
+    time: float
+    action: str
+    #: Filled by post-run analysis: did the run end without a collision
+    #: after this activation window?
+    prevented_collision: Optional[bool] = None
+
+
+@dataclass
+class SeriesPoint:
+    time: float
+    value: float
+
+
+class DependabilityMetrics:
+    """Accumulates dependability evidence for one orchestration run."""
+
+    def __init__(self) -> None:
+        self.violations: List[ViolationRecord] = []
+        self.faults: List[FaultRecord] = []
+        self.recoveries: List[RecoveryRecord] = []
+        self._series: Dict[str, List[SeriesPoint]] = defaultdict(list)
+        self._role_time: Dict[str, float] = defaultdict(float)
+        self._role_calls: Dict[str, int] = defaultdict(int)
+        self._counters: Counter = Counter()
+        self.iterations_completed = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_violation(
+        self, category: str, role: str, iteration: int, time: float, detail: str = ""
+    ) -> None:
+        """Log a violation; ``category`` is free-form ('safety', 'security',
+        'performance', ...)."""
+        self.violations.append(ViolationRecord(category, role, iteration, time, detail))
+        self._counters[f"violations.{category}"] += 1
+
+    def record_fault(self, kind: str, iteration: int, time: float, detail: str = "") -> None:
+        """Log one fault/attack injection."""
+        self.faults.append(FaultRecord(kind, iteration, time, detail))
+        self._counters[f"faults.{kind}"] += 1
+
+    def record_recovery(self, iteration: int, time: float, action: str) -> None:
+        """Log a recovery-planner activation."""
+        self.recoveries.append(RecoveryRecord(iteration, time, action))
+        self._counters["recovery.activations"] += 1
+
+    def record_series(self, name: str, time: float, value: float) -> None:
+        """Append one sample to a named time series (performance metrics)."""
+        self._series[name].append(SeriesPoint(time, float(value)))
+
+    def record_score(self, name: str, time: float, value: float) -> None:
+        """Robustness/quality scores are series too; alias for clarity."""
+        self.record_series(f"score.{name}", time, value)
+
+    def record_role_timing(self, role: str, seconds: float) -> None:
+        """Accumulate wall-clock processing time per role (§III.B.5)."""
+        self._role_time[role] += seconds
+        self._role_calls[role] += 1
+
+    def increment(self, counter: str, by: int = 1) -> None:
+        """Bump an arbitrary named counter."""
+        self._counters[counter] += by
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count(self, counter: str) -> int:
+        return self._counters.get(counter, 0)
+
+    def violations_of(self, category: str) -> List[ViolationRecord]:
+        return [v for v in self.violations if v.category == category]
+
+    @property
+    def violation_counts(self) -> Dict[str, int]:
+        """Violation count per category."""
+        counts: Counter = Counter()
+        for violation in self.violations:
+            counts[violation.category] += 1
+        return dict(counts)
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """A named series as (time, value) pairs."""
+        return [(p.time, p.value) for p in self._series.get(name, [])]
+
+    def series_values(self, name: str) -> List[float]:
+        return [p.value for p in self._series.get(name, [])]
+
+    def series_summary(self, name: str) -> Dict[str, float]:
+        """Mean / max / min / last of a series (empty dict when unset)."""
+        values = self.series_values(name)
+        if not values:
+            return {}
+        return {
+            "mean": statistics.fmean(values),
+            "max": max(values),
+            "min": min(values),
+            "last": values[-1],
+        }
+
+    @property
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    def role_timings(self) -> Dict[str, Dict[str, float]]:
+        """Per-role total seconds, call count and mean per call."""
+        out: Dict[str, Dict[str, float]] = {}
+        for role, total in self._role_time.items():
+            calls = self._role_calls[role]
+            out[role] = {
+                "total_s": total,
+                "calls": float(calls),
+                "mean_s": total / calls if calls else 0.0,
+            }
+        return out
+
+    @property
+    def recovery_activation_count(self) -> int:
+        return len(self.recoveries)
+
+    def mark_recovery_outcomes(self, prevented_collision: bool) -> None:
+        """Post-run: annotate every activation with the run outcome.
+
+        The paper assesses recovery effectiveness at run granularity
+        ("success rate of the RecoveryPlanner in preventing actual
+        collisions when activated", §IV.D); finer per-activation
+        counterfactuals come from the ablation harness.
+        """
+        self.recoveries = [
+            RecoveryRecord(r.iteration, r.time, r.action, prevented_collision)
+            for r in self.recoveries
+        ]
+
+    # ------------------------------------------------------------------
+    # summary
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot of everything collected."""
+        return {
+            "iterations_completed": self.iterations_completed,
+            "violation_counts": self.violation_counts,
+            "fault_count": len(self.faults),
+            "recovery_activations": len(self.recoveries),
+            "counters": dict(self._counters),
+            "series": {name: self.series_summary(name) for name in self._series},
+            "role_timings": self.role_timings(),
+        }

@@ -1,0 +1,293 @@
+"""The Orchestration Controller: the iterative assurance loop (§III.C).
+
+``OrchestrationController`` wires together the role graph, the shared
+:class:`~repro.core.state.StateManager`, the
+:class:`~repro.core.metrics.DependabilityMetrics` collector, the event bus
+and an :class:`~repro.env.interface.EnvironmentInterface`, then executes
+the paper's ten-step cycle: state update -> generation -> dependability
+assessment -> feedback processing -> decision/adaptation -> action
+execution -> metrics logging -> loop/terminate.
+"""
+
+from __future__ import annotations
+
+import enum
+import time as wall_clock
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..env.interface import EnvironmentInterface
+from .config import OrchestratorConfig
+from .errors import ConfigurationError, RoleExecutionError
+from .events import Event, EventBus, EventKind
+from .metrics import DependabilityMetrics
+from .role import Role, RoleContext, RoleKind, RoleResult, Verdict
+from .scheduling import RoleGraph, ScheduledRole
+from .state import StateManager
+
+#: World-state / result-data key carrying the tactical action.
+ACTION_KEY = "action"
+
+#: Violation category assigned per role kind when a FAIL verdict appears.
+_VIOLATION_CATEGORY = {
+    RoleKind.SAFETY_MONITOR: "safety",
+    RoleKind.SECURITY_ASSESSOR: "security",
+    RoleKind.PERFORMANCE_ORACLE: "performance",
+}
+
+
+class TerminationReason(enum.Enum):
+    """Why an orchestration run ended."""
+
+    ENVIRONMENT_DONE = "environment_done"
+    MAX_ITERATIONS = "max_iterations"
+    VIOLATION_HALT = "violation_halt"
+
+
+@dataclass
+class OrchestrationResult:
+    """Outcome of one :meth:`OrchestrationController.run` call."""
+
+    reason: TerminationReason
+    iterations: int
+    metrics: DependabilityMetrics
+    final_world_state: Dict[str, Any] = field(default_factory=dict)
+    environment_info: Dict[str, Any] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @property
+    def violation_counts(self) -> Dict[str, int]:
+        return self.metrics.violation_counts
+
+
+class OrchestrationController:
+    """Central coordinator of the multi-role V&V loop (§III.B.1).
+
+    Args:
+        roles: a :class:`~repro.core.scheduling.RoleGraph`, or a plain list
+            of roles which is wrapped into the paper's sequential chain.
+        environment: simulator binding.
+        config: loop configuration.
+
+    The controller owns the StateManager, metrics and event bus for the
+    run; they are exposed as attributes for inspection and for subscribers
+    (e.g. trace recorders) to hook into before :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        roles: "RoleGraph | List[Role]",
+        environment: EnvironmentInterface,
+        config: Optional[OrchestratorConfig] = None,
+    ) -> None:
+        self.config = config or OrchestratorConfig()
+        self.graph = roles if isinstance(roles, RoleGraph) else RoleGraph.sequential(roles)
+        if len(self.graph) == 0:
+            raise ConfigurationError("at least one role is required")
+        self.environment = environment
+        self.state = StateManager(history_limit=self.config.history_limit)
+        self.metrics = DependabilityMetrics()
+        self.events = EventBus(keep_log=self.config.keep_event_log)
+        self._order = self.graph.execution_order()
+        if not any(s.role.kind is RoleKind.GENERATOR for s in self._order):
+            raise ConfigurationError(
+                "the role set must include a Generator (the AI under test)"
+            )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> OrchestrationResult:
+        """Execute the iterative assurance process until termination."""
+        started = wall_clock.perf_counter()
+        self.state.reset()
+        self.metrics = DependabilityMetrics()
+        for scheduled in self._order:
+            scheduled.role.reset()
+        self.environment.reset()
+
+        iteration = 0
+        reason = TerminationReason.ENVIRONMENT_DONE
+        while True:
+            if self.config.max_iterations is not None and iteration >= self.config.max_iterations:
+                reason = TerminationReason.MAX_ITERATIONS
+                break
+            if self.environment.done:
+                reason = TerminationReason.ENVIRONMENT_DONE
+                break
+
+            violation_this_iteration = self._run_iteration(iteration)
+            iteration += 1
+            self.metrics.iterations_completed = iteration
+
+            if violation_this_iteration and self.config.halt_on_violation:
+                reason = TerminationReason.VIOLATION_HALT
+                break
+
+        info = self.environment.result_info()
+        self._publish(EventKind.RUN_TERMINATED, iteration, payload={"reason": reason.value, **info})
+        return OrchestrationResult(
+            reason=reason,
+            iterations=iteration,
+            metrics=self.metrics,
+            final_world_state=self.state.world_state,
+            environment_info=info,
+            wall_time_s=wall_clock.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # one iteration = the paper's steps 2-9
+    # ------------------------------------------------------------------
+    def _run_iteration(self, iteration: int) -> bool:
+        env = self.environment
+        self.state.begin_iteration(iteration, env.time)
+        self._publish(EventKind.ITERATION_STARTED, iteration)
+
+        # Step 3: state update.
+        self.state.update_world_state(env.observe())
+        self._publish(EventKind.STATE_UPDATED, iteration)
+
+        # Steps 4-5: generation and dependability assessment, in order.
+        violation = False
+        for scheduled in self._order:
+            violation |= self._execute_role(scheduled, iteration)
+
+        # Steps 6-7: feedback processing, decision and adaptation.
+        action, source = self._decide_action()
+
+        # Step 8: action execution.
+        env.apply_action(action)
+        self._publish(
+            EventKind.ACTION_EXECUTED,
+            iteration,
+            payload={"action": self._describe_action(action), "source": source},
+        )
+        env.advance()
+
+        # Step 9: metrics logging.
+        self.state.finish_iteration(executed_action=action, action_source=source)
+        self._publish(EventKind.ITERATION_FINISHED, iteration)
+        return violation
+
+    def _execute_role(self, scheduled: ScheduledRole, iteration: int) -> bool:
+        context = RoleContext(
+            state=self.state,
+            metrics=self.metrics,
+            iteration=iteration,
+            time=self.environment.time,
+            config=self.config.role_config,
+        )
+        if not scheduled.trigger.should_run(context):
+            self._publish(EventKind.ROLE_SKIPPED, iteration, role=scheduled.name)
+            return False
+
+        role = scheduled.role
+        started = wall_clock.perf_counter()
+        try:
+            result = role.execute(context)
+        except Exception as exc:  # noqa: BLE001 - boundary: roles are user code
+            if not self.config.continue_on_role_error:
+                raise RoleExecutionError(role.name, exc) from exc
+            self.metrics.record_violation(
+                "role_error", role.name, iteration, self.environment.time, detail=repr(exc)
+            )
+            result = RoleResult(verdict=Verdict.WARNING, narrative=f"role error: {exc!r}")
+        elapsed = wall_clock.perf_counter() - started
+        self.metrics.record_role_timing(role.name, elapsed)
+
+        if not isinstance(result, RoleResult):
+            raise RoleExecutionError(
+                role.name, TypeError(f"execute() must return RoleResult, got {type(result).__name__}")
+            )
+        result.role_name = result.role_name or role.name
+        self.state.record_output(result)
+        for score_name, value in result.scores.items():
+            self.metrics.record_score(f"{role.name}.{score_name}", self.environment.time, value)
+        self._publish(
+            EventKind.ROLE_EXECUTED,
+            iteration,
+            role=role.name,
+            payload={"verdict": result.verdict.value},
+        )
+
+        if result.verdict.is_violation:
+            category = _VIOLATION_CATEGORY.get(role.kind, "generic")
+            self.metrics.record_violation(
+                category, role.name, iteration, self.environment.time, detail=result.narrative
+            )
+            self._publish(
+                EventKind.VIOLATION_DETECTED,
+                iteration,
+                role=role.name,
+                payload={"category": category, "detail": result.narrative},
+            )
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # decision and adaptation (step 7)
+    # ------------------------------------------------------------------
+    def _decide_action(self) -> "tuple[Any, str]":
+        """Pick the action to execute: recovery override beats generator.
+
+        The paper's use case states the recovery action "overrides all
+        other actions" (Fig. 3); a RecoveryPlanner that ran and proposed an
+        action therefore wins.  Otherwise the (first) Generator's proposal
+        is approved.
+        """
+        recovery_action = None
+        recovery_role = ""
+        generator_action = None
+        generator_role = ""
+        for scheduled in self._order:
+            result = self.state.output_of(scheduled.name)
+            if result is None:
+                continue
+            if scheduled.role.kind is RoleKind.RECOVERY_PLANNER:
+                proposed = result.data.get(ACTION_KEY)
+                if proposed is not None and recovery_action is None:
+                    recovery_action = proposed
+                    recovery_role = scheduled.name
+            elif scheduled.role.kind is RoleKind.GENERATOR and generator_action is None:
+                generator_action = result.data.get(ACTION_KEY)
+                generator_role = scheduled.name
+
+        if recovery_action is not None:
+            self.metrics.record_recovery(
+                self.state.iteration, self.environment.time, self._describe_action(recovery_action)
+            )
+            self._publish(
+                EventKind.RECOVERY_ACTIVATED,
+                self.state.iteration,
+                role=recovery_role,
+                payload={"action": self._describe_action(recovery_action)},
+            )
+            return recovery_action, recovery_role
+        return generator_action, generator_role
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _describe_action(action: Any) -> str:
+        if action is None:
+            return "none"
+        value = getattr(action, "value", None)
+        return str(value if value is not None else action)
+
+    def _publish(
+        self,
+        kind: EventKind,
+        iteration: int,
+        role: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.events.publish(
+            Event(
+                kind=kind,
+                iteration=iteration,
+                time=self.environment.time,
+                role=role,
+                payload=payload or {},
+            )
+        )

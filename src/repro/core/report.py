@@ -1,0 +1,180 @@
+"""Assurance report generation from collected metrics.
+
+Turns a run's :class:`~repro.core.metrics.DependabilityMetrics` (and
+optionally its event log) into a structured plain-text report — the
+"traceable evidence suitable for building assurance cases" the framework
+promises (§I).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .events import EventBus, EventKind
+from .metrics import DependabilityMetrics
+from .orchestrator import OrchestrationResult
+
+
+def _heading(title: str) -> List[str]:
+    return [title, "-" * len(title)]
+
+
+def build_report(
+    result: OrchestrationResult,
+    events: Optional[EventBus] = None,
+    title: str = "DURA-CPS assurance report",
+) -> str:
+    """Render a human-readable assurance report for one run."""
+    metrics = result.metrics
+    lines: List[str] = [title, "=" * len(title), ""]
+
+    lines += _heading("Run outcome")
+    lines.append(f"termination reason : {result.reason.value}")
+    lines.append(f"iterations         : {result.iterations}")
+    lines.append(f"wall time          : {result.wall_time_s:.3f} s")
+    for key, value in sorted(result.environment_info.items()):
+        lines.append(f"{key:<19}: {value}")
+    lines.append("")
+
+    lines += _heading("Violations")
+    counts = metrics.violation_counts
+    if not counts:
+        lines.append("none detected")
+    else:
+        for category, count in sorted(counts.items()):
+            lines.append(f"{category:<12}: {count}")
+        lines.append("")
+        lines.append("first occurrences:")
+        seen = set()
+        for violation in metrics.violations:
+            if violation.category in seen:
+                continue
+            seen.add(violation.category)
+            lines.append(
+                f"  [{violation.category}] it {violation.iteration} t={violation.time:.1f}s "
+                f"by {violation.role}: {violation.detail or '(no detail)'}"
+            )
+    lines.append("")
+
+    lines += _heading("Fault injections")
+    if not metrics.faults:
+        lines.append("none")
+    else:
+        for fault in metrics.faults:
+            lines.append(f"  [{fault.kind}] it {fault.iteration} t={fault.time:.1f}s {fault.detail}")
+    lines.append("")
+
+    lines += _heading("Recovery")
+    lines.append(f"activations: {metrics.recovery_activation_count}")
+    outcomes = [r.prevented_collision for r in metrics.recoveries if r.prevented_collision is not None]
+    if outcomes:
+        prevented = sum(1 for o in outcomes if o)
+        lines.append(f"collision-free after activation: {prevented}/{len(outcomes)}")
+    lines.append("")
+
+    lines += _heading("Performance series")
+    if not metrics.series_names:
+        lines.append("none recorded")
+    else:
+        for name in metrics.series_names:
+            summary = metrics.series_summary(name)
+            lines.append(
+                f"{name:<36} mean={summary['mean']:.3f} min={summary['min']:.3f} "
+                f"max={summary['max']:.3f} last={summary['last']:.3f}"
+            )
+    lines.append("")
+
+    lines += _heading("Role processing time")
+    timings = metrics.role_timings()
+    if not timings:
+        lines.append("none recorded")
+    else:
+        for role, stats in sorted(timings.items()):
+            lines.append(
+                f"{role:<28} calls={int(stats['calls']):>5} total={stats['total_s']*1e3:8.2f} ms "
+                f"mean={stats['mean_s']*1e6:8.1f} us"
+            )
+    lines.append("")
+
+    if events is not None:
+        lines += _heading("Evidence trail (violations & recoveries)")
+        notable = [
+            e
+            for e in events.log
+            if e.kind in (EventKind.VIOLATION_DETECTED, EventKind.RECOVERY_ACTIVATED, EventKind.FAULT_INJECTED)
+        ]
+        if not notable:
+            lines.append("no notable events")
+        else:
+            for event in notable[:100]:
+                lines.append(f"  {event}")
+            if len(notable) > 100:
+                lines.append(f"  ... and {len(notable) - 100} more")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def metrics_digest(metrics: DependabilityMetrics) -> str:
+    """One-line digest, convenient for campaign progress logs."""
+    counts = metrics.violation_counts
+    violations = ", ".join(f"{k}={v}" for k, v in sorted(counts.items())) or "clean"
+    return (
+        f"iterations={metrics.iterations_completed} violations[{violations}] "
+        f"faults={len(metrics.faults)} recoveries={metrics.recovery_activation_count}"
+    )
+
+
+def build_markdown_report(
+    result: OrchestrationResult,
+    title: str = "DURA-CPS assurance report",
+) -> str:
+    """Render a run summary as Markdown (CI artifacts, PR comments).
+
+    A compact companion to :func:`build_report`: outcome header, violation
+    table and recovery/fault counts, without the full evidence trail.
+    """
+    metrics = result.metrics
+    lines: List[str] = [f"# {title}", ""]
+
+    lines.append(f"**Outcome:** `{result.reason.value}` after "
+                 f"{result.iterations} iterations "
+                 f"({result.wall_time_s:.2f} s wall time)")
+    if result.environment_info:
+        info = ", ".join(
+            f"{key}={value}" for key, value in sorted(result.environment_info.items())
+        )
+        lines.append(f"**Environment:** {info}")
+    lines.append("")
+
+    counts = metrics.violation_counts
+    lines.append("## Violations")
+    lines.append("")
+    if not counts:
+        lines.append("None detected.")
+    else:
+        lines.append("| Category | Count | First occurrence |")
+        lines.append("|---|---|---|")
+        for category in sorted(counts):
+            first = next(v for v in metrics.violations if v.category == category)
+            detail = (first.detail or "-").replace("|", "/")
+            lines.append(
+                f"| {category} | {counts[category]} | "
+                f"t={first.time:.1f}s by {first.role}: {detail} |"
+            )
+    lines.append("")
+
+    lines.append("## Interventions")
+    lines.append("")
+    lines.append(f"- Fault injections: **{len(metrics.faults)}**")
+    lines.append(f"- Recovery activations: **{metrics.recovery_activation_count}**")
+    outcomes = [
+        r.prevented_collision
+        for r in metrics.recoveries
+        if r.prevented_collision is not None
+    ]
+    if outcomes:
+        prevented = sum(1 for o in outcomes if o)
+        lines.append(f"- Collision-free after activation: **{prevented}/{len(outcomes)}**")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Role scheduling: dependency graph and execution order.
+
+The orchestrator executes roles once per iteration in an order that
+respects declared dependencies ("run A after B").  The paper's use case is
+a simple fixed sequence (§IV.B.2) — which is just a chain in this graph —
+but the graph form supports the extensibility goal: new roles slot in by
+declaring what they must observe, not by editing the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .errors import SchedulingError
+from .role import Role
+from .triggers import Always, Trigger
+
+
+@dataclass
+class ScheduledRole:
+    """A role plus its scheduling metadata."""
+
+    role: Role
+    #: Names of roles that must execute (or be skipped) earlier in the
+    #: iteration, so this role can read their outputs.
+    after: List[str] = field(default_factory=list)
+    #: Predicate deciding whether the role runs this iteration.
+    trigger: Trigger = field(default_factory=Always)
+
+    @property
+    def name(self) -> str:
+        return self.role.name
+
+
+class RoleGraph:
+    """Validated role collection with a deterministic topological order.
+
+    Determinism matters for reproducibility: among roles whose dependencies
+    are satisfied, registration order breaks ties (Kahn's algorithm with a
+    FIFO frontier).
+    """
+
+    def __init__(self) -> None:
+        self._scheduled: Dict[str, ScheduledRole] = {}
+        self._insertion: List[str] = []
+
+    def add(
+        self,
+        role: Role,
+        after: Optional[Sequence[str]] = None,
+        trigger: Optional[Trigger] = None,
+    ) -> "RoleGraph":
+        """Register a role.
+
+        Args:
+            role: the role instance; names must be unique in the graph.
+            after: role names that must run earlier each iteration.
+            trigger: run condition (default: every iteration).
+
+        Returns:
+            self, for chaining.
+
+        Raises:
+            SchedulingError: duplicate name.
+        """
+        if role.name in self._scheduled:
+            raise SchedulingError(f"duplicate role name {role.name!r}")
+        self._scheduled[role.name] = ScheduledRole(
+            role=role,
+            after=list(after or []),
+            trigger=trigger or Always(),
+        )
+        self._insertion.append(role.name)
+        return self
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scheduled
+
+    def __len__(self) -> int:
+        return len(self._scheduled)
+
+    def get(self, name: str) -> ScheduledRole:
+        """Scheduled entry for ``name``.
+
+        Raises:
+            SchedulingError: unknown role.
+        """
+        try:
+            return self._scheduled[name]
+        except KeyError:
+            raise SchedulingError(
+                f"unknown role {name!r}; registered: {sorted(self._scheduled)}"
+            ) from None
+
+    @property
+    def roles(self) -> List[Role]:
+        """All registered roles, in registration order."""
+        return [self._scheduled[name].role for name in self._insertion]
+
+    def execution_order(self) -> List[ScheduledRole]:
+        """Topological order honouring ``after`` constraints.
+
+        Raises:
+            SchedulingError: unknown dependency or dependency cycle.
+        """
+        indegree: Dict[str, int] = {name: 0 for name in self._insertion}
+        dependents: Dict[str, List[str]] = {name: [] for name in self._insertion}
+        for name in self._insertion:
+            for dep in self._scheduled[name].after:
+                if dep not in self._scheduled:
+                    raise SchedulingError(
+                        f"role {name!r} depends on unknown role {dep!r}"
+                    )
+                indegree[name] += 1
+                dependents[dep].append(name)
+
+        frontier = [name for name in self._insertion if indegree[name] == 0]
+        order: List[ScheduledRole] = []
+        while frontier:
+            name = frontier.pop(0)
+            order.append(self._scheduled[name])
+            for dependent in dependents[name]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    # Keep registration order among newly freed roles.
+                    frontier.append(dependent)
+            frontier.sort(key=self._insertion.index)
+
+        if len(order) != len(self._insertion):
+            stuck = sorted(name for name, deg in indegree.items() if deg > 0)
+            raise SchedulingError(f"dependency cycle among roles: {stuck}")
+        return order
+
+    @staticmethod
+    def sequential(roles: Sequence[Role], triggers: Optional[Dict[str, Trigger]] = None) -> "RoleGraph":
+        """Build a strict chain: each role runs after the previous one.
+
+        This reproduces the paper's fixed per-tick sequence (§IV.B.2) with
+        one call.
+        """
+        graph = RoleGraph()
+        triggers = triggers or {}
+        previous: Optional[str] = None
+        for role in roles:
+            graph.add(
+                role,
+                after=[previous] if previous else [],
+                trigger=triggers.get(role.name),
+            )
+            previous = role.name
+        return graph

@@ -1,0 +1,12 @@
+"""Environment interfaces (§III.B.3): simulator bindings and trace tooling."""
+
+from .interface import EnvironmentInterface
+from .recording import TraceFrame, TraceRecorder
+from .sim_interface import IntersectionSimInterface
+
+__all__ = [
+    "EnvironmentInterface",
+    "IntersectionSimInterface",
+    "TraceRecorder",
+    "TraceFrame",
+]

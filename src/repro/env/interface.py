@@ -1,0 +1,59 @@
+"""EnvironmentInterface: the abstraction over the CPS simulator (§III.B.3).
+
+Concrete interfaces translate between a simulator's native representation
+and the framework's world-state dictionaries, send approved actions back,
+and control simulation stepping.  The bundled
+:class:`~repro.env.sim_interface.IntersectionSimInterface` plays the part
+of the paper's custom CarlaInterface; hardware-in-the-loop or other
+simulators plug in by subclassing this ABC (§III.D).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict
+
+
+class EnvironmentInterface(abc.ABC):
+    """Contract between the orchestrator and the external environment.
+
+    Per iteration the orchestrator calls, in order: :meth:`observe` (world
+    state in), role execution, :meth:`apply_action` (approved action out),
+    :meth:`advance` (simulated time forward).  :meth:`reset` precedes the
+    first iteration.
+    """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """(Re)initialize the environment for a fresh run."""
+
+    @abc.abstractmethod
+    def observe(self) -> Dict[str, Any]:
+        """Return the current world state as a flat dictionary.
+
+        The returned mapping becomes the StateManager's world state for the
+        iteration; keys are interface-specific but should stay stable across
+        ticks so monitors can build temporal signals from them.
+        """
+
+    @abc.abstractmethod
+    def apply_action(self, action: Any) -> None:
+        """Send the approved (or recovery) action to the environment."""
+
+    @abc.abstractmethod
+    def advance(self) -> None:
+        """Advance simulated time by one tick."""
+
+    @property
+    @abc.abstractmethod
+    def time(self) -> float:
+        """Current simulated time in seconds."""
+
+    @property
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """True when the scenario has terminated (success, crash, timeout)."""
+
+    def result_info(self) -> Dict[str, Any]:
+        """Optional post-run ground-truth summary (collisions, outcome...)."""
+        return {}

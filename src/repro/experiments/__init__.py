@@ -1,0 +1,25 @@
+"""Evaluation harness: the paper's experiments as runnable modules.
+
+* ``table2`` — Table II (monitor activations and collision rates).
+* ``fig4`` — Fig. 4 (intersection clearance times).
+* ``gridlock`` — §V.B gridlock analysis under trajectory spoofing.
+* ``recovery`` — §V.D recovery effectiveness with exact counterfactuals.
+* ``ablations`` — design-choice ablations (recovery, horizon, planner).
+* ``runner`` — one-shot regeneration of all per-campaign artifacts.
+"""
+
+from .campaign import (
+    CampaignOptions,
+    RunOutcome,
+    build_controller,
+    run_once,
+    run_suite,
+)
+
+__all__ = [
+    "CampaignOptions",
+    "RunOutcome",
+    "build_controller",
+    "run_once",
+    "run_suite",
+]

@@ -1,0 +1,212 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **Recovery loop on/off** — how much of the safety margin the
+   monitor→recovery loop buys (quantifies §V.D at table granularity).
+2. **Monitor horizon sweep** — flag precision/recall against ground-truth
+   collisions as the geometric look-ahead varies.
+3. **Planner type** — surrogate LLM vs the rule-based baseline (quantifies
+   the §IV.A.1 rationale: the LLM is deliberately the weaker planner).
+4. **Recovery strategy** — the paper's emergency brake vs the graded
+   replanning §V.D motivates as future work.
+
+Run as a script::
+
+    python -m repro.experiments.ablations [--seeds N] \
+        [--which all|recovery|horizon|planner|strategy]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.aggregate import aggregate_suite
+from ..analysis.tables import render_table
+from ..sim.scenario import ScenarioType
+from .campaign import CampaignOptions, RunOutcome, run_suite
+from .table2 import SCENARIO_ORDER, _SCENARIO_LABELS
+
+
+def recovery_ablation(
+    seeds: Sequence[int] = tuple(range(15)),
+) -> str:
+    """Table II's collision column with vs without the RecoveryPlanner."""
+    with_rec = run_suite(SCENARIO_ORDER, seeds, CampaignOptions(use_recovery=True))
+    without_rec = run_suite(SCENARIO_ORDER, seeds, CampaignOptions(use_recovery=False))
+    agg_with = aggregate_suite(with_rec)
+    agg_without = aggregate_suite(without_rec)
+
+    rows = []
+    for scenario in SCENARIO_ORDER:
+        rows.append(
+            [
+                _SCENARIO_LABELS[scenario],
+                str(agg_with[scenario].collision_rate),
+                str(agg_without[scenario].collision_rate),
+                str(agg_with[scenario].monitor_flag_rate),
+            ]
+        )
+    return render_table(
+        headers=[
+            "Scenario",
+            "Collisions (with recovery)",
+            "Collisions (no recovery)",
+            "Monitor flags",
+        ],
+        rows=rows,
+        title="Ablation 1: recovery loop on/off",
+    )
+
+
+def horizon_ablation(
+    horizons: Sequence[float] = (0.5, 1.0, 1.5, 2.5, 3.5),
+    seeds: Sequence[int] = tuple(range(10)),
+    scenarios: Sequence[ScenarioType] = (
+        ScenarioType.CONFLICTING,
+        ScenarioType.SPOOF_ATTACK,
+    ),
+) -> str:
+    """Monitor look-ahead sweep: flag rate vs collisions caught.
+
+    Short horizons miss developing conflicts (collisions without any prior
+    flag); long horizons flag early and often.  Recovery stays enabled, so
+    collision rates also reflect how much earlier warning helps.
+    """
+    rows = []
+    for horizon in horizons:
+        options = CampaignOptions(monitor_horizon_s=horizon)
+        results = run_suite(scenarios, seeds, options)
+        outcomes: List[RunOutcome] = [o for group in results.values() for o in group]
+        n = len(outcomes)
+        flagged = sum(1 for o in outcomes if o.monitor_flagged)
+        collisions = sum(1 for o in outcomes if o.collision)
+        unflagged_collisions = sum(
+            1 for o in outcomes if o.collision and not o.monitor_flagged
+        )
+        rows.append(
+            [
+                f"{horizon:.1f} s",
+                f"{100.0 * flagged / n:.1f}%",
+                f"{100.0 * collisions / n:.1f}%",
+                str(unflagged_collisions),
+            ]
+        )
+    return render_table(
+        headers=[
+            "Monitor horizon",
+            "Runs flagged",
+            "Collision rate",
+            "Collisions never flagged",
+        ],
+        rows=rows,
+        title="Ablation 2: geometric monitor horizon sweep",
+    )
+
+
+def planner_ablation(
+    seeds: Sequence[int] = tuple(range(15)),
+) -> str:
+    """Surrogate LLM vs rule-based baseline across all scenarios."""
+    llm = aggregate_suite(run_suite(SCENARIO_ORDER, seeds, CampaignOptions(planner="llm")))
+    rule = aggregate_suite(run_suite(SCENARIO_ORDER, seeds, CampaignOptions(planner="rule")))
+
+    rows = []
+    for scenario in SCENARIO_ORDER:
+        l, r = llm[scenario], rule[scenario]
+        rows.append(
+            [
+                _SCENARIO_LABELS[scenario],
+                str(l.monitor_flag_rate),
+                str(r.monitor_flag_rate),
+                str(l.collision_rate),
+                str(r.collision_rate),
+                f"{l.clearance.mean:.1f}" if l.clearance else "n/a",
+                f"{r.clearance.mean:.1f}" if r.clearance else "n/a",
+            ]
+        )
+    return render_table(
+        headers=[
+            "Scenario",
+            "Flags (LLM)",
+            "Flags (rule)",
+            "Collisions (LLM)",
+            "Collisions (rule)",
+            "Clearance (LLM)",
+            "Clearance (rule)",
+        ],
+        rows=rows,
+        title="Ablation 3: LLM surrogate vs rule-based baseline planner",
+    )
+
+
+def recovery_strategy_ablation(
+    seeds: Sequence[int] = tuple(range(15)),
+    scenarios: Sequence[ScenarioType] = (
+        ScenarioType.CONFLICTING,
+        ScenarioType.GHOST_ATTACK,
+        ScenarioType.PEDESTRIAN,
+    ),
+) -> str:
+    """Emergency brake vs graded replanning (SS V.D's future-work direction).
+
+    The graded strategy picks the softest maneuver that restores the
+    predicted separation instead of always slamming the brakes; the table
+    contrasts safety (collisions) against comfort (violations per run).
+    """
+    rows = []
+    for strategy in ("brake", "replan"):
+        results = run_suite(
+            scenarios, seeds, CampaignOptions(recovery_strategy=strategy)
+        )
+        outcomes: List[RunOutcome] = [o for group in results.values() for o in group]
+        n = len(outcomes)
+        rows.append(
+            [
+                strategy,
+                f"{100.0 * sum(o.collision for o in outcomes) / n:.1f}%",
+                f"{sum(o.recovery_activations for o in outcomes) / n:.1f}",
+                f"{sum(o.comfort_violations for o in outcomes) / n:.1f}",
+                f"{sum(o.clearance_time or 0.0 for o in outcomes) / max(sum(o.cleared for o in outcomes), 1):.1f}",
+            ]
+        )
+    return render_table(
+        headers=[
+            "Recovery strategy",
+            "Collision rate",
+            "Activations / run",
+            "Comfort violations / run",
+            "Mean clearance (s)",
+        ],
+        rows=rows,
+        title="Ablation 4: emergency brake vs graded replanning",
+    )
+
+
+_ABLATIONS: Dict[str, "object"] = {
+    "recovery": recovery_ablation,
+    "horizon": horizon_ablation,
+    "planner": planner_ablation,
+    "strategy": recovery_strategy_ablation,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=15)
+    parser.add_argument(
+        "--which", choices=["all", *sorted(_ABLATIONS)], default="all"
+    )
+    args = parser.parse_args(argv)
+    seeds = tuple(range(args.seeds))
+    names = sorted(_ABLATIONS) if args.which == "all" else [args.which]
+    for name in names:
+        fn = _ABLATIONS[name]
+        if name in ("horizon", "strategy"):
+            print(fn(seeds=seeds[: max(5, len(seeds) * 2 // 3)]))
+        else:
+            print(fn(seeds=seeds))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,195 @@
+"""Campaign wiring: build and run the paper's use-case configuration.
+
+:func:`build_controller` assembles the exact role stack of §IV.B.2 —
+Generator, SafetyMonitor, SecurityAssessor, FaultInjector (conditional),
+PerformanceOracle, RecoveryPlanner — over the intersection simulator, and
+:func:`run_once` / :func:`run_suite` execute seeded scenario runs and
+distil each into a :class:`RunOutcome` (the per-run facts Tables/Figures
+aggregate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core import (
+    OrchestrationController,
+    OrchestratorConfig,
+    RoleGraph,
+)
+from ..env.sim_interface import IntersectionSimInterface
+from ..llm.planner import LLMPlanner
+from ..llm.surrogate import SurrogateConfig
+from ..roles.fault_injector import FaultInjectorRole, FaultPipeline
+from ..roles.generator import LLMGeneratorRole, RuleBasedPlannerRole
+from ..roles.performance_oracle import IntersectionPerformanceOracle
+from ..roles.recovery_planner import EmergencyBrakeRecovery, ReplanRecovery
+from ..roles.safety_monitor import GeometricSafetyMonitor
+from ..roles.security_assessor import ScriptedSecurityAssessor
+from ..sim.scenario import AttackKind, ScenarioSpec, ScenarioType, build_scenario
+
+
+@dataclass(frozen=True)
+class CampaignOptions:
+    """Knobs the experiments vary.
+
+    Attributes:
+        use_recovery: include a RecoveryPlanner (the §V.D ablation).
+        recovery_strategy: ``"brake"`` (the paper's emergency brake) or
+            ``"replan"`` (the graded strategy §V.D motivates as future work).
+        planner: ``"llm"`` (surrogate) or ``"rule"`` (baseline).
+        surrogate_config: overrides for the surrogate's behaviour model.
+        monitor_horizon_s: SafetyMonitor look-ahead (ablation 2).
+        halt_on_violation: stop the loop at the first FAIL verdict.
+    """
+
+    use_recovery: bool = True
+    recovery_strategy: str = "brake"
+    planner: str = "llm"
+    surrogate_config: Optional[SurrogateConfig] = None
+    monitor_horizon_s: float = 1.0
+    halt_on_violation: bool = False
+
+
+@dataclass
+class RunOutcome:
+    """Everything one seeded run contributes to the paper's artifacts."""
+
+    scenario: str
+    seed: int
+    monitor_flagged: bool
+    safety_flag_count: int
+    collision: bool
+    clearance_time: Optional[float]
+    gridlocked: bool
+    timed_out: bool
+    recovery_activations: int
+    faults_injected: int
+    comfort_violations: int
+    performance_flags: int
+    iterations: int
+    wall_time_s: float
+
+    @property
+    def cleared(self) -> bool:
+        return self.clearance_time is not None
+
+
+#: Role names used across the campaign (tests rely on these).
+GENERATOR = "Generator"
+SAFETY_MONITOR = "SafetyMonitor"
+SECURITY_ASSESSOR = "SecurityAssessor"
+FAULT_INJECTOR = "FaultInjector"
+PERFORMANCE_ORACLE = "PerformanceOracle"
+RECOVERY_PLANNER = "RecoveryPlanner"
+
+
+def build_controller(
+    spec: ScenarioSpec,
+    options: Optional[CampaignOptions] = None,
+) -> OrchestrationController:
+    """Assemble the full use-case orchestrator for one scenario run."""
+    options = options or CampaignOptions()
+    pipeline = FaultPipeline(seed=spec.seed)
+    environment = IntersectionSimInterface(spec, pipeline=pipeline)
+
+    if options.planner == "llm":
+        planner = LLMPlanner(config=options.surrogate_config, seed=spec.seed)
+        generator = LLMGeneratorRole(planner=planner, name=GENERATOR)
+    elif options.planner == "rule":
+        generator = RuleBasedPlannerRole(name=GENERATOR)
+    else:
+        raise ValueError(f"unknown planner {options.planner!r} (use 'llm' or 'rule')")
+
+    # Trajectory spoofing is re-armed periodically ("periodically introduce
+    # specific attacks", §IV.B); the ghost obstacle is a single window.
+    repeat = (
+        spec.attack.duration + 2.0
+        if spec.attack.kind is AttackKind.TRAJECTORY_SPOOF
+        else None
+    )
+    assessor = ScriptedSecurityAssessor(
+        plan=spec.attack, repeat_period=repeat, name=SECURITY_ASSESSOR
+    )
+
+    roles = [
+        generator,
+        GeometricSafetyMonitor(
+            generator_name=GENERATOR,
+            horizon_s=options.monitor_horizon_s,
+            name=SAFETY_MONITOR,
+        ),
+        assessor,
+        FaultInjectorRole(pipeline, assessor_name=SECURITY_ASSESSOR, name=FAULT_INJECTOR),
+        IntersectionPerformanceOracle(name=PERFORMANCE_ORACLE),
+    ]
+    if options.use_recovery:
+        if options.recovery_strategy == "brake":
+            roles.append(EmergencyBrakeRecovery(name=RECOVERY_PLANNER))
+        elif options.recovery_strategy == "replan":
+            roles.append(ReplanRecovery(name=RECOVERY_PLANNER))
+        else:
+            raise ValueError(
+                f"unknown recovery strategy {options.recovery_strategy!r} "
+                "(use 'brake' or 'replan')"
+            )
+
+    config = OrchestratorConfig(
+        max_iterations=int(spec.timeout_s / 0.1) + 10,
+        halt_on_violation=options.halt_on_violation,
+    )
+    return OrchestrationController(RoleGraph.sequential(roles), environment, config)
+
+
+def run_once(
+    scenario_type: ScenarioType,
+    seed: int,
+    options: Optional[CampaignOptions] = None,
+) -> RunOutcome:
+    """Run one seeded scenario through the full assurance loop."""
+    spec = build_scenario(scenario_type, seed)
+    controller = build_controller(spec, options)
+    result = controller.run()
+
+    metrics = result.metrics
+    safety_flags = [
+        v for v in metrics.violations_of("safety") if v.role == SAFETY_MONITOR
+    ]
+    info = result.environment_info
+    metrics.mark_recovery_outcomes(prevented_collision=not info["collision"])
+
+    return RunOutcome(
+        scenario=scenario_type.value,
+        seed=seed,
+        monitor_flagged=bool(safety_flags),
+        safety_flag_count=len(safety_flags),
+        collision=bool(info["collision"]),
+        clearance_time=info["clearance_time"],
+        gridlocked=bool(info["gridlocked"]),
+        timed_out=bool(info["timed_out"]),
+        recovery_activations=metrics.recovery_activation_count,
+        faults_injected=len(metrics.faults),
+        comfort_violations=metrics.count("performance.comfort_violations"),
+        performance_flags=len(metrics.violations_of("performance")),
+        iterations=result.iterations,
+        wall_time_s=result.wall_time_s,
+    )
+
+
+def run_suite(
+    scenario_types: Sequence[ScenarioType] = tuple(ScenarioType),
+    seeds: Sequence[int] = tuple(range(15)),
+    options: Optional[CampaignOptions] = None,
+) -> Dict[ScenarioType, List[RunOutcome]]:
+    """Run the full campaign: every scenario across every seed.
+
+    The paper's evaluation is 6 scenarios x 15 runs = 90 runs (§V); the
+    defaults reproduce that.
+    """
+    results: Dict[ScenarioType, List[RunOutcome]] = {}
+    for scenario_type in scenario_types:
+        results[scenario_type] = [
+            run_once(scenario_type, seed, options) for seed in seeds
+        ]
+    return results

@@ -1,0 +1,159 @@
+"""Fault-robustness matrix: the full fault library, systematically.
+
+The paper's use case exercises two attacks (ghost obstacle, trajectory
+spoofing), but the FaultInjector's brief is wider: "sensor noise/failure,
+communication delays/loss, GPS spoofing" (§III.B.2).  This experiment
+sweeps every fault model in the library across scenarios and reports the
+dependability impact — the systematic-injection capability §V.E credits
+the framework with, extended to the whole library.
+
+Run as a script::
+
+    python -m repro.experiments.fault_matrix [--seeds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.stats import MeanStd, Rate
+from ..analysis.tables import render_table
+from ..core import OrchestrationController, OrchestratorConfig, RoleGraph
+from ..core.role import Role, RoleContext, RoleKind, RoleResult, Verdict
+from ..env.sim_interface import IntersectionSimInterface
+from ..geom import Vec2
+from ..llm.planner import LLMPlanner
+from ..roles.fault_injector import (
+    DropoutFault,
+    FaultModel,
+    FaultPipeline,
+    GhostObstacleFault,
+    GPSBiasFault,
+    LatencyFault,
+    SensorNoiseFault,
+    TrajectorySpoofFault,
+)
+from ..roles.generator import LLMGeneratorRole
+from ..roles.performance_oracle import IntersectionPerformanceOracle
+from ..roles.recovery_planner import EmergencyBrakeRecovery
+from ..roles.safety_monitor import GeometricSafetyMonitor
+from ..sim.scenario import ScenarioType, build_scenario
+
+#: The sweep: fault label -> factory for a fresh (per-run) fault model.
+FAULT_FACTORIES: Dict[str, Optional[Callable[[], FaultModel]]] = {
+    "none": None,
+    "sensor_noise": lambda: SensorNoiseFault(position_sigma=0.8, velocity_sigma=0.6),
+    "dropout": lambda: DropoutFault(drop_probability=0.4),
+    "latency": lambda: LatencyFault(delay_ticks=5),
+    "gps_bias": lambda: GPSBiasFault(offset=Vec2(2.5, 0.0)),
+    "ghost_obstacle": lambda: GhostObstacleFault(distance_ahead=14.0),
+    "trajectory_spoof": lambda: TrajectorySpoofFault(speed_factor=2.2, path_bend=0.35),
+}
+
+
+class PresetFaultInjector(Role):
+    """Minimal injector role keeping one fault armed for the whole run.
+
+    The environment interface clears its pipeline on every reset, so a
+    pre-armed fault would vanish when the orchestrator starts; this role
+    re-arms it (idempotently) each iteration instead — a 20-line
+    demonstration of how scripted fault campaigns plug in.
+    """
+
+    kind = RoleKind.FAULT_INJECTOR
+
+    def __init__(
+        self,
+        pipeline: FaultPipeline,
+        factory: Callable[[], FaultModel],
+        name: str = "PresetFaultInjector",
+    ) -> None:
+        super().__init__(name)
+        self.pipeline = pipeline
+        self.factory = factory
+        self._kind = factory().kind
+
+    def execute(self, context: RoleContext) -> RoleResult:
+        if self._kind not in self.pipeline.active_kinds:
+            self.pipeline.arm(self.factory())
+        records = self.pipeline.drain_records()
+        for record in records:
+            context.metrics.record_fault(
+                record.kind, context.iteration, record.time, record.detail
+            )
+        return RoleResult(verdict=Verdict.INFO, data={"injections": len(records)})
+
+
+def _run(scenario: ScenarioType, seed: int, factory: Optional[Callable[[], FaultModel]]):
+    """One run with the given fault kind armed for the whole scenario."""
+    spec = build_scenario(scenario, seed)
+    pipeline = FaultPipeline(seed=seed)
+    environment = IntersectionSimInterface(spec, pipeline=pipeline)
+    roles = [
+        LLMGeneratorRole(planner=LLMPlanner(seed=seed), name="Generator"),
+        GeometricSafetyMonitor(name="SafetyMonitor"),
+        IntersectionPerformanceOracle(name="PerformanceOracle"),
+        EmergencyBrakeRecovery(name="RecoveryPlanner"),
+    ]
+    if factory is not None:
+        roles.insert(1, PresetFaultInjector(pipeline, factory))
+    controller = OrchestrationController(
+        RoleGraph.sequential(roles),
+        environment,
+        OrchestratorConfig(max_iterations=int(spec.timeout_s / 0.1) + 10),
+    )
+    result = controller.run()
+    info = result.environment_info
+    return {
+        "flagged": bool(result.metrics.violations_of("safety")),
+        "collision": bool(info["collision"]),
+        "cleared": info["clearance_time"] is not None,
+        "clearance": info["clearance_time"],
+    }
+
+
+def generate(
+    seeds: Sequence[int] = tuple(range(8)),
+    scenarios: Sequence[ScenarioType] = (ScenarioType.NOMINAL, ScenarioType.CONGESTED),
+) -> str:
+    """Render the fault x scenario robustness matrix."""
+    rows: List[List[str]] = []
+    for scenario in scenarios:
+        for label, factory in FAULT_FACTORIES.items():
+            outcomes = [_run(scenario, seed, factory) for seed in seeds]
+            n = len(outcomes)
+            clearances = [o["clearance"] for o in outcomes if o["clearance"] is not None]
+            rows.append(
+                [
+                    scenario.value,
+                    label,
+                    str(Rate(sum(o["flagged"] for o in outcomes), n)),
+                    str(Rate(sum(o["collision"] for o in outcomes), n)),
+                    str(Rate(sum(not o["cleared"] for o in outcomes), n)),
+                    str(MeanStd.of(clearances)) if clearances else "n/a",
+                ]
+            )
+    return render_table(
+        headers=[
+            "Scenario",
+            "Injected fault",
+            "Monitor flagged",
+            "Collisions",
+            "Never cleared",
+            "Clearance (s)",
+        ],
+        rows=rows,
+        title="Fault-robustness matrix (full injector library)",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=8)
+    args = parser.parse_args(argv)
+    print(generate(seeds=tuple(range(args.seeds))))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""One-shot evaluation runner: regenerate every table and figure.
+
+``python -m repro.experiments.runner [--seeds N] [--out DIR]`` executes the
+full campaign once and renders Table II, Fig. 4, the gridlock analysis and
+a summary — reusing the same 90 runs for everything, as the paper does.
+The recovery counterfactual (which needs a second, recovery-less pass) and
+the ablations have their own modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..analysis.aggregate import aggregate_suite
+from ..analysis.tables import render_table
+from ..sim.scenario import ScenarioType
+from . import fig4, gridlock, table2
+from .campaign import CampaignOptions, run_suite
+
+
+def run_evaluation(
+    seeds: Sequence[int] = tuple(range(15)),
+    options: Optional[CampaignOptions] = None,
+    out_dir: Optional[Path] = None,
+) -> str:
+    """Run the campaign once and render all per-campaign artifacts."""
+    started = time.perf_counter()
+    results = run_suite(table2.SCENARIO_ORDER, seeds, options)
+    aggregates = aggregate_suite(results)
+
+    sections = [
+        table2.generate(results=results),
+        fig4.generate(results=results),
+        gridlock.generate(outcomes=results[ScenarioType.SPOOF_ATTACK]),
+    ]
+
+    summary_rows = []
+    for scenario_type in table2.SCENARIO_ORDER:
+        agg = aggregates[scenario_type]
+        summary_rows.append(
+            [
+                agg.scenario,
+                f"{agg.mean_safety_flags:.1f}",
+                f"{agg.mean_recovery_activations:.1f}",
+                f"{agg.mean_comfort_violations:.1f}",
+                f"{agg.mean_faults:.1f}",
+            ]
+        )
+    sections.append(
+        render_table(
+            headers=[
+                "Scenario",
+                "Safety flags / run",
+                "Recovery activations / run",
+                "Comfort violations / run",
+                "Faults injected / run",
+            ],
+            rows=summary_rows,
+            title="Per-run averages",
+        )
+    )
+    elapsed = time.perf_counter() - started
+    sections.append(
+        f"campaign: {len(seeds)} seeds x {len(table2.SCENARIO_ORDER)} scenarios, "
+        f"{elapsed:.1f} s wall time"
+    )
+    report = "\n\n".join(sections)
+
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "evaluation.txt").write_text(report)
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=15)
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+    print(run_evaluation(seeds=tuple(range(args.seeds)), out_dir=args.out))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Table I: the sensor-input suite the planner receives.
+
+Table I of the paper is descriptive — the eight input channels and what
+each contains.  This module regenerates it *live*: it steps a congested
+scenario until the scene is busy, renders every channel through the actual
+sensor pipeline, and prints the channel inventory with a real example of
+each, demonstrating that all eight inputs exist and carry what the paper
+says they carry.
+
+Run as a script::
+
+    python -m repro.experiments.table1 [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import textwrap
+from typing import Optional, Sequence
+
+from ..analysis.tables import render_table
+from ..sim import Maneuver, ManeuverExecutor, ScenarioType, World, build_scenario, build_sensor_suite, perceive
+
+#: Paper Table I: channel name -> (abbreviated) published description.
+PAPER_TABLE1 = {
+    "LiDAR-based Obstacle Summary": (
+        "Textual summary of obstacles extracted from the LiDAR: nearby "
+        "objects with positions & dimensions."
+    ),
+    "Radar Summary": (
+        "Text summary of radar detections: each object's range and relative "
+        "radial velocity."
+    ),
+    "Front RGB Camera": "Image from the front-facing camera, passed directly to the LLM.",
+    "Third-Person View Camera": (
+        "Broader third-person perspective with contextual clues about "
+        "background traffic and layout."
+    ),
+    "IMU Summary": (
+        "Inertial measurements: linear acceleration, angular velocity, heading."
+    ),
+    "Vehicle Speed": "Current speed from vehicle odometry.",
+    "HD Map & Waypoint Data": (
+        "Upcoming waypoints / lane-centre coordinates from a high-definition map."
+    ),
+    "Traffic Controls Status": (
+        "State of nearby traffic signals and key road signs."
+    ),
+}
+
+
+def generate(seed: int = 0, scene_ticks: int = 45) -> str:
+    """Render Table I with live channel examples from the sensor pipeline."""
+    world = World(build_scenario(ScenarioType.CONGESTED, seed))
+    executor = ManeuverExecutor()
+    for _ in range(scene_ticks):
+        accel = executor.acceleration_for(
+            Maneuver.PROCEED, world.ego.speed, world.ego.s, world.ego.route
+        )
+        world.ego.apply_acceleration(accel)
+        world.step()
+
+    snapshot = perceive(world)
+    suite = build_sensor_suite(
+        snapshot, world.ego.route, world.ego.s, world.ego.acceleration
+    )
+
+    def clip(text: str, width: int = 58) -> str:
+        return textwrap.shorten(text, width=width, placeholder="...")
+
+    rows = [
+        [name, clip(PAPER_TABLE1[name]), clip(rendered)]
+        for name, rendered in suite.channels().items()
+    ]
+    return render_table(
+        headers=["Sensor Input", "Paper description", "Live rendering (this repo)"],
+        rows=rows,
+        title="Table I: sensor inputs received by the tactical planner",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    print(generate(seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

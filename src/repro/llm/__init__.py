@@ -1,0 +1,39 @@
+"""LLM tactical-planner substrate: the Llama 3.2 11B surrogate.
+
+Implements the Fig. 3 planner pipeline — Table I sensor summaries feed a
+prompt templater; a decision model produces a maneuver plus a
+chain-of-thought explanation; the running state carries past decisions.
+The decision model is a behavioural surrogate calibrated to the failure
+taxonomy the paper reports (see DESIGN.md, substitution table).
+"""
+
+from .cot import explain
+from .features import PlannerObservation, Threat, observe
+from .planner import LLMPlanner, PlanOutput
+from .prompt import (
+    FEW_SHOT_EXAMPLES,
+    SYSTEM_PREAMBLE,
+    HistoryEntry,
+    PlannerPrompt,
+    build_prompt,
+    render_history,
+)
+from .surrogate import PlannerDecision, SurrogateConfig, SurrogateLLM
+
+__all__ = [
+    "LLMPlanner",
+    "PlanOutput",
+    "SurrogateLLM",
+    "SurrogateConfig",
+    "PlannerDecision",
+    "PlannerObservation",
+    "Threat",
+    "observe",
+    "explain",
+    "build_prompt",
+    "render_history",
+    "PlannerPrompt",
+    "HistoryEntry",
+    "SYSTEM_PREAMBLE",
+    "FEW_SHOT_EXAMPLES",
+]

@@ -1,0 +1,83 @@
+"""Chain-of-thought explanation generation for the surrogate planner.
+
+The paper's planner "generates both control outputs and corresponding
+explanations" (Fig. 3), and the running state stores "past actions and
+associated CoT explanations".  The surrogate produces the explanation from
+the same features that drove its decision — including, deliberately, the
+*wrong* reasoning when a failure mode fired, since explanations that
+rationalize a bad decision are a documented LLM failure signature.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.actions import Maneuver
+from .features import PlannerObservation, Threat
+
+
+def _describe_threat(threat: Threat) -> str:
+    kind = threat.obj.kind.value
+    where = "inside the intersection" if threat.inside_box else f"{threat.distance:.0f} m away"
+    closing = (
+        f"closing at {threat.closing_speed:.1f} m/s"
+        if threat.closing_speed > 0.2
+        else "not closing"
+    )
+    return f"{kind} #{threat.obj.object_id} {where}, {closing}"
+
+
+def explain(
+    maneuver: Maneuver,
+    observation: PlannerObservation,
+    failure_mode: Optional[str] = None,
+) -> str:
+    """Compose a CoT-style explanation for the chosen maneuver."""
+    threats = observation.pressing_threats
+    scene = (
+        f"I see {observation.object_count} object(s); "
+        f"{len(threats)} look(s) relevant to my crossing."
+    )
+
+    if failure_mode == "gap_misjudged" and threats:
+        return (
+            f"{scene} {_describe_threat(threats[0])}, but I judge the gap "
+            f"sufficient to cross before it arrives, so I {maneuver.value}."
+        )
+    if failure_mode == "hesitation":
+        return (
+            f"{scene} The situation is ambiguous and I cannot be certain the "
+            f"intersection is clear, so I {maneuver.value} to be safe."
+        )
+    if failure_mode == "ghost_reaction":
+        return (
+            f"{scene} An obstacle has appeared directly ahead at "
+            f"{observation.obstacle_ahead_distance:.0f} m — I must "
+            f"{maneuver.value} immediately to avoid it."
+        )
+    if failure_mode == "spoof_caution":
+        return (
+            f"{scene} {_describe_threat(threats[0]) if threats else 'A vehicle'} "
+            f"is approaching aggressively; crossing now is too risky, so I "
+            f"{maneuver.value}."
+        )
+    if failure_mode == "frustrated_go":
+        return (
+            f"{scene} I have been waiting a long time and traffic never fully "
+            f"clears; the next gap must be taken, so I {maneuver.value}."
+        )
+
+    if maneuver in (Maneuver.PROCEED, Maneuver.ACCELERATE):
+        return f"{scene} My crossing window is clear of conflicts, so I {maneuver.value}."
+    if maneuver is Maneuver.PROCEED_CAUTIOUSLY:
+        return (
+            f"{scene} Nothing conflicts immediately but the scene is busy, "
+            f"so I {maneuver.value}."
+        )
+    if maneuver is Maneuver.YIELD:
+        reason = _describe_threat(threats[0]) if threats else "conflicting traffic"
+        return f"{scene} {reason} has priority over me, so I {maneuver.value}."
+    if maneuver is Maneuver.WAIT:
+        reason = _describe_threat(threats[0]) if threats else "the intersection state"
+        return f"{scene} {reason} makes entering unsafe right now, so I {maneuver.value}."
+    return f"{scene} Immediate hazard — {maneuver.value}."

@@ -1,0 +1,93 @@
+"""LLMPlanner: the planner-facing facade over the surrogate model.
+
+Ties the pipeline of Fig. 3 together for one tick: perceived snapshot ->
+feature extraction -> prompt templating (with running-state history) ->
+model decision -> CoT explanation.  The Generator role
+(:class:`~repro.roles.generator.LLMGeneratorRole`) owns an instance and
+calls :meth:`plan` each iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim.actions import Maneuver
+from ..sim.intersection import Route
+from ..sim.perception import PerceptionSnapshot
+from ..sim.sensors import SensorSuite, build_sensor_suite
+from .features import PlannerObservation, observe
+from .prompt import HistoryEntry, PlannerPrompt, build_prompt
+from .surrogate import PlannerDecision, SurrogateConfig, SurrogateLLM
+
+
+@dataclass
+class PlanOutput:
+    """The full planner output for one tick."""
+
+    maneuver: Maneuver
+    explanation: str
+    prompt: PlannerPrompt
+    observation: PlannerObservation
+    failure_mode: Optional[str] = None
+    fresh: bool = True
+
+
+class LLMPlanner:
+    """Tactical planner: prompt-templated surrogate LLM with history.
+
+    Args:
+        goal: the mission string embedded in every prompt.
+        config: surrogate behaviour parameters.
+        seed: RNG seed for the surrogate's stochastic failure modes.
+        history_limit: past decisions kept in the running state.
+    """
+
+    def __init__(
+        self,
+        goal: str = "Proceed straight through the intersection.",
+        config: Optional[SurrogateConfig] = None,
+        seed: int = 0,
+        history_limit: int = 8,
+    ) -> None:
+        self.goal = goal
+        self.model = SurrogateLLM(config=config, seed=seed)
+        self.history: List[HistoryEntry] = []
+        self.history_limit = history_limit
+
+    def reset(self) -> None:
+        """Fresh run: clear the model state and the decision history."""
+        self.model.reset()
+        self.history.clear()
+
+    def plan(
+        self,
+        snapshot: PerceptionSnapshot,
+        route: Route,
+        ego_s: float,
+        ego_acceleration: float = 0.0,
+    ) -> PlanOutput:
+        """Run the full per-tick planning pipeline."""
+        suite: SensorSuite = build_sensor_suite(snapshot, route, ego_s, ego_acceleration)
+        prompt = build_prompt(suite, self.goal, history=self.history)
+        observation = observe(snapshot, route, ego_s)
+        decision: PlannerDecision = self.model.decide(observation)
+
+        if decision.fresh:
+            self.history.append(
+                HistoryEntry(
+                    time=snapshot.time,
+                    maneuver=decision.maneuver,
+                    explanation=decision.explanation,
+                )
+            )
+            del self.history[: -self.history_limit]
+
+        return PlanOutput(
+            maneuver=decision.maneuver,
+            explanation=decision.explanation,
+            prompt=prompt,
+            observation=observation,
+            failure_mode=decision.failure_mode,
+            fresh=decision.fresh,
+        )

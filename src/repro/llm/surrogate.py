@@ -1,0 +1,298 @@
+"""The surrogate LLM: a calibrated stand-in for the Llama 3.2 planner.
+
+The paper's AUT is a fine-tuned Llama 3.2 11B tactical planner.  Running it
+requires GPU inference; per the substitution rule (DESIGN.md) this module
+implements a behavioural surrogate instead: a stochastic decision model
+whose *failure taxonomy* matches what §V reports for the real LLM —
+
+* reasonable behaviour in nominal scenes, degrading with complexity
+  (gap misjudgement under congestion/conflict, occasional hesitation),
+* strong over-reaction to ghost obstacles ("propose immediate braking ...
+  treating it as real", §V.B),
+* over-caution under trajectory spoofing, up to becoming 'stuck' and
+  gridlocking (§V.B), and
+* risky late crossings after prolonged waiting (conflicts "later flagged
+  by the monitor").
+
+All stochasticity flows through one per-run ``random.Random`` seeded by the
+scenario, so every run is reproducible.  The rate parameters are calibrated
+against Table II; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.actions import Maneuver
+from .cot import explain
+from .features import PlannerObservation
+
+
+@dataclass(frozen=True)
+class SurrogateConfig:
+    """Tunable behaviour of the surrogate planner."""
+
+    #: Re-decide every N ticks (decision inertia; LLM latency analog).
+    decision_period_ticks: int = 5
+    #: Per-decision probability of misjudging a gap with one pressing threat.
+    base_misjudge_rate: float = 0.030
+    #: Additional misjudge probability per extra pressing threat.
+    per_threat_misjudge: float = 0.02
+    #: Seconds a misjudged "go" commitment persists.
+    commit_duration_s: float = 4.0
+    #: Misjudge-probability multiplier while travelling fast: misreading a
+    #: moving gap on approach ("I can make it") is far more likely than
+    #: misreading one while stopped and watching at the line.
+    fast_approach_multiplier: float = 4.0
+    fast_approach_speed: float = 5.0
+    #: Per-decision probability of spurious hesitation in busy scenes.
+    hesitation_rate: float = 0.006
+    #: Obstacle-ahead distance (m) below which the ghost panic fires.
+    panic_distance_m: float = 16.0
+    #: Probability that the reaction to a blocking obstacle is full panic
+    #: braking rather than a controlled stop ("immediate braking or
+    #: significant deceleration", §V.B).
+    ghost_panic_rate: float = 0.85
+    #: Perceived closing speed (m/s) treated as "aggressive" (spoof bait).
+    aggressive_closing_mps: float = 12.5
+    #: Probability that a spoof scare leaves the planner ultra-conservative
+    #: for the rest of the run (the gridlock pathway).
+    spooked_rate: float = 0.45
+    #: Severity threshold for pressing threats once spooked.
+    spooked_severity_threshold: float = 0.05
+    #: Waiting longer than this makes the planner impatient (s).
+    frustration_time_s: float = 10.0
+    #: Per-decision probability of a risky "go" once frustrated.
+    frustrated_go_rate: float = 0.30
+    #: Perceived-pressure threshold and probability for hesitating *inside*
+    #: the conflict zone — the secondary-conflict pathway (SS V.B).
+    in_box_hesitation_severity: float = 0.55
+    in_box_hesitation_rate: float = 0.12
+    #: How long an in-box hesitation freezes the planner (s).
+    in_box_hesitation_hold_s: float = 1.8
+
+
+@dataclass
+class PlannerDecision:
+    """One planner output: the maneuver plus its explanation and provenance."""
+
+    maneuver: Maneuver
+    explanation: str
+    #: Which failure mode produced the decision, if any (analysis only —
+    #: no role is allowed to read this; it exists to validate the surrogate).
+    failure_mode: Optional[str] = None
+    #: True when this is a fresh decision rather than a held one.
+    fresh: bool = True
+
+
+@dataclass
+class _RunState:
+    ticks_since_decision: int = 10 ** 9
+    held: Optional[PlannerDecision] = None
+    committed_until: float = -1.0
+    waiting_since: Optional[float] = None
+    #: Cumulative seconds spent (nearly) stationary before the box.
+    blocked_accum: float = 0.0
+    last_time: Optional[float] = None
+    spooked: bool = False
+    spoof_scares: int = 0
+    frustrated_commit_until: float = -1.0
+    hesitating_until: float = -1.0
+    #: Reaction chosen for the current obstacle-ahead scare episode.
+    ghost_reaction: Optional[Maneuver] = None
+
+
+class SurrogateLLM:
+    """Stochastic tactical decision model with LLM-like failure modes."""
+
+    def __init__(self, config: Optional[SurrogateConfig] = None, seed: int = 0) -> None:
+        self.config = config or SurrogateConfig()
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._state = _RunState()
+
+    def reset(self) -> None:
+        """Fresh run: re-seed the RNG and clear behavioural state."""
+        self._rng = random.Random(self._seed)
+        self._state = _RunState()
+
+    # ------------------------------------------------------------------
+    # main entry
+    # ------------------------------------------------------------------
+    def decide(self, observation: PlannerObservation) -> PlannerDecision:
+        """Produce the maneuver for this tick (may be a held decision)."""
+        state = self._state
+        state.ticks_since_decision += 1
+
+        self._track_waiting(observation)
+
+        # Panic re-decisions are immediate; otherwise honour the inertia.
+        panic = observation.obstacle_ahead_distance < self.config.panic_distance_m
+        if (
+            state.held is not None
+            and state.ticks_since_decision < self.config.decision_period_ticks
+            and not panic
+        ):
+            return PlannerDecision(
+                maneuver=state.held.maneuver,
+                explanation=state.held.explanation,
+                failure_mode=state.held.failure_mode,
+                fresh=False,
+            )
+
+        decision = self._fresh_decision(observation)
+        state.held = decision
+        state.ticks_since_decision = 0
+        return decision
+
+    # ------------------------------------------------------------------
+    # decision core
+    # ------------------------------------------------------------------
+    def _fresh_decision(self, obs: PlannerObservation) -> PlannerDecision:
+        cfg = self.config
+        state = self._state
+        rng = self._rng
+
+        if obs.past_intersection:
+            return self._make(Maneuver.PROCEED, obs)
+
+        # Ghost-obstacle reaction: something (possibly injected) sits right
+        # ahead on the lane — believe the sensors and brake (§V.B).  The
+        # reaction strength is chosen once per scare episode: usually full
+        # panic braking, sometimes a controlled stop.
+        if obs.obstacle_ahead_distance < cfg.panic_distance_m:
+            if state.ghost_reaction is None:
+                state.ghost_reaction = (
+                    Maneuver.EMERGENCY_BRAKE
+                    if rng.random() < cfg.ghost_panic_rate
+                    else Maneuver.WAIT
+                )
+            return self._make(state.ghost_reaction, obs, failure_mode="ghost_reaction")
+        state.ghost_reaction = None
+
+        if obs.in_intersection:
+            # Committed: clear the box.  Mid-box hesitation under perceived
+            # pressure is one of the surrogate's failure modes (secondary
+            # conflicts, §V.B); once it starts, it holds for a while —
+            # a frozen planner does not un-freeze 100 ms later.
+            if obs.time < state.hesitating_until:
+                return self._make(Maneuver.WAIT, obs, failure_mode="hesitation")
+            if (
+                obs.max_severity > cfg.in_box_hesitation_severity
+                and rng.random() < cfg.in_box_hesitation_rate
+            ):
+                state.hesitating_until = obs.time + cfg.in_box_hesitation_hold_s
+                return self._make(Maneuver.WAIT, obs, failure_mode="hesitation")
+            return self._make(Maneuver.PROCEED, obs)
+
+        # Active misjudged-gap commitment: going for the gap means
+        # accelerating through it, not cruising.
+        if obs.time < state.committed_until:
+            return self._make(Maneuver.ACCELERATE, obs, failure_mode="gap_misjudged")
+        if obs.time < state.frustrated_commit_until:
+            return self._make(Maneuver.ACCELERATE, obs, failure_mode="frustrated_go")
+
+        pressing = obs.pressing_threats
+        if state.spooked:
+            pressing = [t for t in obs.threats if t.severity >= cfg.spooked_severity_threshold]
+            # A spooked planner refuses to cross while *anything* still
+            # approaches the box — the 'unable to find a perceived safe
+            # gap' pathway (§V.B).
+            if obs.approaching_near_count > 0 and obs.distance_to_entry > 0.0:
+                return self._make(Maneuver.WAIT, obs, failure_mode="spoof_caution")
+
+        if pressing:
+            # Spoof bait: an implausibly fast-closing vehicle.
+            aggressive = any(
+                t.closing_speed >= cfg.aggressive_closing_mps and not t.on_ego_path
+                for t in pressing
+            )
+            if aggressive:
+                state.spoof_scares += 1
+                if state.spoof_scares == 1 and rng.random() < cfg.spooked_rate:
+                    state.spooked = True
+                return self._make(Maneuver.WAIT, obs, failure_mode="spoof_caution")
+
+            # Frustrated risky crossing after a long wait (§V.A conflicts
+            # "later flagged by the monitor").
+            if self._frustrated(obs) and rng.random() < cfg.frustrated_go_rate:
+                state.frustrated_commit_until = obs.time + cfg.commit_duration_s
+                return self._make(Maneuver.ACCELERATE, obs, failure_mode="frustrated_go")
+
+            # Gap misjudgement scales with scene complexity, and sharply
+            # with approach speed (misjudging a moving gap).
+            misjudge_p = cfg.base_misjudge_rate + cfg.per_threat_misjudge * (len(pressing) - 1)
+            if obs.ego_speed >= cfg.fast_approach_speed:
+                misjudge_p *= cfg.fast_approach_multiplier
+            if rng.random() < misjudge_p:
+                state.committed_until = obs.time + cfg.commit_duration_s
+                return self._make(Maneuver.ACCELERATE, obs, failure_mode="gap_misjudged")
+
+            # Correct conservative behaviour.
+            top = pressing[0]
+            if top.severity > 0.7 or top.on_ego_path or obs.distance_to_entry < 8.0:
+                return self._make(Maneuver.WAIT, obs)
+            return self._make(Maneuver.YIELD, obs)
+
+        # No pressing threats: occasionally hesitate anyway in busy scenes.
+        if obs.object_count >= 2 and rng.random() < cfg.hesitation_rate:
+            return self._make(Maneuver.YIELD, obs, failure_mode="hesitation")
+        if obs.object_count >= 4:
+            return self._make(Maneuver.PROCEED_CAUTIOUSLY, obs)
+        return self._make(Maneuver.PROCEED, obs)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _make(
+        self,
+        maneuver: Maneuver,
+        obs: PlannerObservation,
+        failure_mode: Optional[str] = None,
+    ) -> PlannerDecision:
+        return PlannerDecision(
+            maneuver=maneuver,
+            explanation=explain(maneuver, obs, failure_mode),
+            failure_mode=failure_mode,
+        )
+
+    def _track_waiting(self, obs: PlannerObservation) -> None:
+        """Accumulate blocked time: slow, outside the box, wanting to cross.
+
+        Creeping at yield speed still counts as blocked — a driver inching
+        at the line for fifteen seconds is exactly as impatient as one
+        standing still.  The accumulator resets once the crossing starts.
+        """
+        state = self._state
+        dt = 0.0
+        if state.last_time is not None:
+            dt = max(0.0, obs.time - state.last_time)
+        state.last_time = obs.time
+        if obs.in_intersection or obs.past_intersection:
+            state.blocked_accum = 0.0
+            state.waiting_since = None
+            return
+        if obs.ego_speed < 2.2 and obs.distance_to_entry > 0.0:
+            state.blocked_accum += dt
+            if state.waiting_since is None:
+                state.waiting_since = obs.time
+        # Meaningful forward progress (full driving speed) resets the clock.
+        elif obs.ego_speed > 5.0:
+            state.blocked_accum = 0.0
+            state.waiting_since = None
+
+    def _frustrated(self, obs: PlannerObservation) -> bool:
+        if self._state.spooked:
+            return False
+        return self._state.blocked_accum >= self.config.frustration_time_s
+
+    # Introspection for tests and analysis -------------------------------
+    @property
+    def spooked(self) -> bool:
+        return self._state.spooked
+
+    @property
+    def spoof_scares(self) -> int:
+        return self._state.spoof_scares

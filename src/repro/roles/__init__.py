@@ -1,0 +1,85 @@
+"""Predefined role library (§III.B.2): generators, monitors, assessors,
+injectors, oracles and recovery planners for the intersection use case."""
+
+from .fault_injector import (
+    DIRECTIVE_KEY,
+    INTENSITY_KEY,
+    DropoutFault,
+    FaultInjectorRole,
+    FaultModel,
+    FaultPipeline,
+    GhostObstacleFault,
+    GPSBiasFault,
+    InjectionRecord,
+    LatencyFault,
+    SensorNoiseFault,
+    TrajectorySpoofFault,
+)
+from .llm_assessor import (
+    CrossChannelConsistencyMonitor,
+    ExplanationGroundingMonitor,
+)
+from .generator import (
+    EGO_ACCEL_KEY,
+    EGO_ROUTE_KEY,
+    EGO_S_KEY,
+    PERCEPTION_KEY,
+    LLMGeneratorRole,
+    RuleBasedPlannerRole,
+)
+from .geometry_checks import (
+    SeparationPrediction,
+    braking_can_avoid,
+    predict_min_separation,
+)
+from .performance_oracle import (
+    CLEARANCE_TIME_KEY,
+    CLEARED_KEY,
+    EGO_JERK_KEY,
+    IntersectionPerformanceOracle,
+    LatencyBudgetOracle,
+)
+from .recovery_planner import EmergencyBrakeRecovery, ReplanRecovery
+from .registry import DEFAULT_REGISTRY, RoleRegistry, build_role_graph
+from .safety_monitor import GeometricSafetyMonitor, STLSafetyMonitor
+from .security_assessor import IMPLAUSIBLE_SPEED, ScriptedSecurityAssessor
+
+__all__ = [
+    "LLMGeneratorRole",
+    "ExplanationGroundingMonitor",
+    "CrossChannelConsistencyMonitor",
+    "RoleRegistry",
+    "DEFAULT_REGISTRY",
+    "build_role_graph",
+    "RuleBasedPlannerRole",
+    "GeometricSafetyMonitor",
+    "STLSafetyMonitor",
+    "ScriptedSecurityAssessor",
+    "FaultInjectorRole",
+    "FaultPipeline",
+    "FaultModel",
+    "GhostObstacleFault",
+    "TrajectorySpoofFault",
+    "SensorNoiseFault",
+    "DropoutFault",
+    "LatencyFault",
+    "GPSBiasFault",
+    "InjectionRecord",
+    "IntersectionPerformanceOracle",
+    "LatencyBudgetOracle",
+    "EmergencyBrakeRecovery",
+    "ReplanRecovery",
+    "predict_min_separation",
+    "braking_can_avoid",
+    "SeparationPrediction",
+    "PERCEPTION_KEY",
+    "EGO_S_KEY",
+    "EGO_ROUTE_KEY",
+    "EGO_ACCEL_KEY",
+    "EGO_JERK_KEY",
+    "CLEARED_KEY",
+    "CLEARANCE_TIME_KEY",
+    "DIRECTIVE_KEY",
+    "INTENSITY_KEY",
+    "IMPLAUSIBLE_SPEED",
+]

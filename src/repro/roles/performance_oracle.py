@@ -1,0 +1,150 @@
+"""PerformanceOracle role: timeliness and comfort monitoring.
+
+"Tracks intersection clearance time and maximum longitudinal/lateral
+acceleration/jerk. Flags 'performance_fail' if thresholds are exceeded."
+(§IV.B)  Clearance time and comfort series feed Fig. 4 and the comfort
+analysis of §V.C.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.role import Role, RoleContext, RoleKind, RoleResult, Verdict
+
+#: World-state keys consumed (provided by the environment interface).
+EGO_ACCEL_KEY = "ego_acceleration"
+EGO_JERK_KEY = "ego_jerk"
+CLEARED_KEY = "ego_cleared"
+CLEARANCE_TIME_KEY = "clearance_time"
+
+
+class IntersectionPerformanceOracle(Role):
+    """Flags runs that are too slow or too uncomfortable.
+
+    Args:
+        max_clearance_s: clearance deadline; exceeding it while still not
+            through the intersection is a performance failure (the paper's
+            "undue delay" requirement).
+        comfort_accel: |acceleration| comfort bound (m/s^2).
+        comfort_jerk: |jerk| comfort bound (m/s^3).
+    """
+
+    kind = RoleKind.PERFORMANCE_ORACLE
+
+    def __init__(
+        self,
+        max_clearance_s: float = 30.0,
+        comfort_accel: float = 3.5,
+        comfort_jerk: float = 25.0,
+        name: str = "PerformanceOracle",
+    ) -> None:
+        super().__init__(name)
+        self.max_clearance_s = max_clearance_s
+        self.comfort_accel = comfort_accel
+        self.comfort_jerk = comfort_jerk
+        self._max_abs_accel = 0.0
+        self._max_abs_jerk = 0.0
+        self._comfort_violations = 0
+        self._deadline_flagged = False
+
+    def reset(self) -> None:
+        self._max_abs_accel = 0.0
+        self._max_abs_jerk = 0.0
+        self._comfort_violations = 0
+        self._deadline_flagged = False
+
+    # Exposed for post-run analysis --------------------------------------
+    @property
+    def max_abs_accel(self) -> float:
+        return self._max_abs_accel
+
+    @property
+    def max_abs_jerk(self) -> float:
+        return self._max_abs_jerk
+
+    @property
+    def comfort_violations(self) -> int:
+        return self._comfort_violations
+
+    def execute(self, context: RoleContext) -> RoleResult:
+        accel = float(context.state.world(EGO_ACCEL_KEY, 0.0))
+        jerk = float(context.state.world(EGO_JERK_KEY, 0.0))
+        cleared = bool(context.state.world(CLEARED_KEY, False))
+        clearance_time: Optional[float] = context.state.world(CLEARANCE_TIME_KEY)
+
+        self._max_abs_accel = max(self._max_abs_accel, abs(accel))
+        self._max_abs_jerk = max(self._max_abs_jerk, abs(jerk))
+        context.metrics.record_series("ego_acceleration", context.time, accel)
+        context.metrics.record_series("ego_jerk", context.time, jerk)
+
+        scores = {
+            "max_abs_accel": self._max_abs_accel,
+            "max_abs_jerk": self._max_abs_jerk,
+        }
+
+        comfort_breach = abs(accel) > self.comfort_accel or abs(jerk) > self.comfort_jerk
+        if comfort_breach:
+            self._comfort_violations += 1
+            context.metrics.increment("performance.comfort_violations")
+
+        # Deadline check: fail once when the clock runs out pre-clearance.
+        if not cleared and context.time > self.max_clearance_s and not self._deadline_flagged:
+            self._deadline_flagged = True
+            return RoleResult(
+                verdict=Verdict.FAIL,
+                data={"reason": "clearance_deadline"},
+                scores=scores,
+                narrative=(
+                    f"intersection not cleared within {self.max_clearance_s:.0f} s "
+                    f"(performance_fail)"
+                ),
+            )
+
+        if comfort_breach:
+            return RoleResult(
+                verdict=Verdict.FAIL,
+                data={"reason": "comfort"},
+                scores=scores,
+                narrative=(
+                    f"comfort bound exceeded: |a|={abs(accel):.1f} m/s^2, "
+                    f"|jerk|={abs(jerk):.1f} m/s^3 (performance_fail)"
+                ),
+            )
+
+        if cleared and clearance_time is not None:
+            context.metrics.record_series("clearance_time", context.time, clearance_time)
+        return RoleResult(verdict=Verdict.PASS, scores=scores)
+
+
+class LatencyBudgetOracle(Role):
+    """Watches per-role wall-clock cost against a real-time budget.
+
+    Supports the §VI.C scalability discussion: in simulated time the loop
+    may take as long as it needs, but this oracle reports whether the role
+    ensemble would have met the 100 ms tick in real time.
+    """
+
+    kind = RoleKind.PERFORMANCE_ORACLE
+
+    def __init__(self, budget_s: float = 0.1, name: str = "LatencyBudgetOracle") -> None:
+        super().__init__(name)
+        if budget_s <= 0.0:
+            raise ValueError(f"budget must be positive, got {budget_s}")
+        self.budget_s = budget_s
+
+    def execute(self, context: RoleContext) -> RoleResult:
+        timings = context.metrics.role_timings()
+        mean_iteration_cost = sum(stats["mean_s"] for stats in timings.values())
+        over = mean_iteration_cost > self.budget_s
+        scores = {"mean_iteration_cost_s": mean_iteration_cost}
+        if over:
+            return RoleResult(
+                verdict=Verdict.WARNING,
+                scores=scores,
+                narrative=(
+                    f"mean per-iteration role cost {mean_iteration_cost * 1e3:.1f} ms exceeds "
+                    f"the {self.budget_s * 1e3:.0f} ms real-time budget"
+                ),
+            )
+        return RoleResult(verdict=Verdict.PASS, scores=scores)

@@ -1,0 +1,175 @@
+"""RecoveryPlanner roles: runtime overrides when things go wrong.
+
+The use case's recovery is "a simple rule-based agent. Using the same
+geometric checks as the SafetyMonitor ... if unsafe conditions are
+detected, it overrides the Generator's decision with 'emergency brake'"
+which "overrides all other actions" (§IV.B, Fig. 3).
+:class:`EmergencyBrakeRecovery` is that agent; :class:`ReplanRecovery` is
+the "more sophisticated recovery strategies" direction §V.D calls for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.role import Role, RoleContext, RoleKind, RoleResult, Verdict
+from ..sim.actions import Maneuver, ManeuverExecutor
+from ..sim.intersection import Route
+from ..sim.perception import PerceptionSnapshot
+from .generator import EGO_ROUTE_KEY, EGO_S_KEY, PERCEPTION_KEY
+from .geometry_checks import predict_min_separation
+
+
+class EmergencyBrakeRecovery(Role):
+    """Override with an emergency brake when unsafe conditions are detected.
+
+    Two trigger modes:
+
+    * **Monitor-gated** (default, the paper's configuration): activate
+      exactly "whenever the SafetyMonitor flagged 'unsafe'" (SS V.D) — the
+      recovery reads the monitor's verdict for this iteration.
+    * **Guardian** (``monitor_name=None``): run the shared geometric check
+      every tick against the ego's current motion and brake when the
+      predicted separation drops below ``trigger_distance``.  Stricter than
+      the paper's loop; available for ablations.
+
+    In both modes the proposal is ``EMERGENCY_BRAKE``, which the
+    orchestrator's decision step lets override all other actions (Fig. 3).
+    """
+
+    kind = RoleKind.RECOVERY_PLANNER
+
+    def __init__(
+        self,
+        monitor_name: Optional[str] = "SafetyMonitor",
+        trigger_distance: float = 0.7,
+        horizon_s: float = 1.6,
+        min_speed: float = 0.3,
+        executor: Optional[ManeuverExecutor] = None,
+        name: str = "RecoveryPlanner",
+    ) -> None:
+        super().__init__(name)
+        self.monitor_name = monitor_name
+        self.trigger_distance = trigger_distance
+        self.horizon_s = horizon_s
+        self.min_speed = min_speed
+        self.executor = executor or ManeuverExecutor()
+        self._activations = 0
+
+    def reset(self) -> None:
+        self._activations = 0
+
+    @property
+    def activations(self) -> int:
+        return self._activations
+
+    def execute(self, context: RoleContext) -> RoleResult:
+        snapshot: PerceptionSnapshot = context.state.require_world(PERCEPTION_KEY)
+
+        if snapshot.ego_speed < self.min_speed:
+            # Already (nearly) stopped: braking adds nothing.
+            return RoleResult(verdict=Verdict.PASS, data={"action": None})
+
+        if self.monitor_name is not None:
+            return self._monitor_gated(context)
+        return self._guardian(context, snapshot)
+
+    def _monitor_gated(self, context: RoleContext) -> RoleResult:
+        monitor = context.state.output_of(self.monitor_name)
+        if monitor is None:
+            return RoleResult(
+                verdict=Verdict.WARNING,
+                data={"action": None},
+                narrative=f"monitor {self.monitor_name!r} produced no output this iteration",
+            )
+        if monitor.verdict is not Verdict.FAIL:
+            return RoleResult(verdict=Verdict.PASS, data={"action": None})
+        self._activations += 1
+        return RoleResult(
+            verdict=Verdict.WARNING,
+            data={"action": Maneuver.EMERGENCY_BRAKE, "reason": "monitor_flag"},
+            narrative=f"emergency brake: {self.monitor_name} flagged unsafe "
+            f"({monitor.narrative or 'no detail'})",
+        )
+
+    def _guardian(self, context: RoleContext, snapshot: PerceptionSnapshot) -> RoleResult:
+        route: Route = context.state.require_world(EGO_ROUTE_KEY)
+        ego_s: float = context.state.require_world(EGO_S_KEY)
+        prediction = predict_min_separation(
+            snapshot,
+            route,
+            ego_s,
+            Maneuver.PROCEED,
+            self.executor,
+            horizon_s=self.horizon_s,
+        )
+        scores = {"min_separation": min(prediction.min_separation, 1e6)}
+        if prediction.min_separation < self.trigger_distance:
+            self._activations += 1
+            obj = prediction.critical_object
+            return RoleResult(
+                verdict=Verdict.WARNING,
+                data={"action": Maneuver.EMERGENCY_BRAKE, "reason": "geometric_trigger"},
+                scores=scores,
+                narrative=(
+                    f"emergency brake: {prediction.min_separation:.1f} m predicted to "
+                    f"{obj.kind.value + ' #' + str(obj.object_id) if obj else 'object'} "
+                    f"within {self.horizon_s:.1f} s"
+                ),
+            )
+        return RoleResult(verdict=Verdict.PASS, data={"action": None}, scores=scores)
+
+
+class ReplanRecovery(Role):
+    """Graded recovery: slow down first, brake hard only when unavoidable.
+
+    The extension §V.D motivates: instead of always slamming the brakes,
+    choose the softest maneuver whose predicted separation clears the
+    trigger distance (PROCEED_CAUTIOUSLY, then YIELD/WAIT, then
+    EMERGENCY_BRAKE).
+    """
+
+    kind = RoleKind.RECOVERY_PLANNER
+
+    #: Candidate overrides, softest first.
+    LADDER = (Maneuver.PROCEED_CAUTIOUSLY, Maneuver.YIELD, Maneuver.WAIT)
+
+    def __init__(
+        self,
+        trigger_distance: float = 0.7,
+        horizon_s: float = 1.6,
+        executor: Optional[ManeuverExecutor] = None,
+        name: str = "ReplanRecovery",
+    ) -> None:
+        super().__init__(name)
+        self.trigger_distance = trigger_distance
+        self.horizon_s = horizon_s
+        self.executor = executor or ManeuverExecutor()
+
+    def execute(self, context: RoleContext) -> RoleResult:
+        snapshot: PerceptionSnapshot = context.state.require_world(PERCEPTION_KEY)
+        route: Route = context.state.require_world(EGO_ROUTE_KEY)
+        ego_s: float = context.state.require_world(EGO_S_KEY)
+
+        current = predict_min_separation(
+            snapshot, route, ego_s, Maneuver.PROCEED, self.executor, horizon_s=self.horizon_s
+        )
+        if current.min_separation >= self.trigger_distance:
+            return RoleResult(verdict=Verdict.PASS, data={"action": None})
+
+        for candidate in self.LADDER:
+            prediction = predict_min_separation(
+                snapshot, route, ego_s, candidate, self.executor, horizon_s=self.horizon_s
+            )
+            if prediction.min_separation >= self.trigger_distance:
+                return RoleResult(
+                    verdict=Verdict.WARNING,
+                    data={"action": candidate, "reason": "graded_replan"},
+                    narrative=f"replan: {candidate.value} restores separation "
+                    f"({prediction.min_separation:.1f} m)",
+                )
+        return RoleResult(
+            verdict=Verdict.WARNING,
+            data={"action": Maneuver.EMERGENCY_BRAKE, "reason": "last_resort"},
+            narrative="replan: no soft maneuver suffices — emergency brake",
+        )

@@ -1,0 +1,173 @@
+"""Config-driven role stacks: build a RoleGraph from plain data.
+
+The paper's workflow starts with "Controller loads configuration,
+initializes roles" (§III.C step 1).  This module makes that literal: a
+registry of role factories plus a loader that turns a JSON-friendly list
+of role specs into a wired :class:`~repro.core.scheduling.RoleGraph` —
+names, constructor parameters, dependencies and triggers included.
+
+Example config::
+
+    [
+        {"role": "LLMGeneratorRole", "name": "Generator"},
+        {"role": "GeometricSafetyMonitor", "after": ["Generator"]},
+        {"role": "ScriptedSecurityAssessor"},
+        {"role": "FaultInjectorRole"},
+        {"role": "IntersectionPerformanceOracle"},
+        {
+            "role": "EmergencyBrakeRecovery",
+            "trigger": {"type": "after", "start_time": 1.0},
+        },
+    ]
+
+Roles that need shared runtime objects (currently only the fault
+pipeline) receive them from the ``resources`` mapping handed to
+:func:`build_role_graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.role import Role, Verdict
+from ..core.scheduling import RoleGraph
+from ..core.triggers import After, Always, Never, OnVerdict, Periodic, Trigger
+from .fault_injector import FaultInjectorRole
+from .generator import LLMGeneratorRole, RuleBasedPlannerRole
+from .llm_assessor import CrossChannelConsistencyMonitor, ExplanationGroundingMonitor
+from .performance_oracle import IntersectionPerformanceOracle, LatencyBudgetOracle
+from .recovery_planner import EmergencyBrakeRecovery, ReplanRecovery
+from .safety_monitor import GeometricSafetyMonitor, STLSafetyMonitor
+from .security_assessor import ScriptedSecurityAssessor
+
+#: Factory signature: (params, resources) -> Role.
+RoleFactory = Callable[[Dict[str, Any], Mapping[str, Any]], Role]
+
+
+def _simple(cls) -> RoleFactory:
+    """Factory for roles whose constructor takes only plain parameters."""
+
+    def build(params: Dict[str, Any], resources: Mapping[str, Any]) -> Role:
+        return cls(**params)
+
+    return build
+
+
+def _fault_injector(params: Dict[str, Any], resources: Mapping[str, Any]) -> Role:
+    pipeline = resources.get("pipeline")
+    if pipeline is None:
+        raise ConfigurationError(
+            "FaultInjectorRole requires a 'pipeline' entry in resources"
+        )
+    return FaultInjectorRole(pipeline, **params)
+
+
+def _security_assessor(params: Dict[str, Any], resources: Mapping[str, Any]) -> Role:
+    params = dict(params)
+    if "plan" not in params and "attack_plan" in resources:
+        params["plan"] = resources["attack_plan"]
+    return ScriptedSecurityAssessor(**params)
+
+
+class RoleRegistry:
+    """Name -> factory registry, pre-populated with the built-in roles."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, RoleFactory] = {}
+        for cls in (
+            LLMGeneratorRole,
+            RuleBasedPlannerRole,
+            GeometricSafetyMonitor,
+            STLSafetyMonitor,
+            IntersectionPerformanceOracle,
+            LatencyBudgetOracle,
+            EmergencyBrakeRecovery,
+            ReplanRecovery,
+            ExplanationGroundingMonitor,
+            CrossChannelConsistencyMonitor,
+        ):
+            self.register(cls.__name__, _simple(cls))
+        self.register("FaultInjectorRole", _fault_injector)
+        self.register("ScriptedSecurityAssessor", _security_assessor)
+
+    def register(self, name: str, factory: RoleFactory) -> None:
+        """Add (or replace) a factory under ``name``."""
+        self._factories[name] = factory
+
+    def create(
+        self,
+        name: str,
+        params: Optional[Dict[str, Any]] = None,
+        resources: Optional[Mapping[str, Any]] = None,
+    ) -> Role:
+        """Instantiate a registered role.
+
+        Raises:
+            ConfigurationError: unknown role name or bad parameters.
+        """
+        factory = self._factories.get(name)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown role type {name!r}; registered: {sorted(self._factories)}"
+            )
+        try:
+            return factory(dict(params or {}), resources or {})
+        except TypeError as exc:
+            raise ConfigurationError(f"bad parameters for role {name!r}: {exc}") from exc
+
+    @property
+    def names(self) -> Sequence[str]:
+        return sorted(self._factories)
+
+
+#: The default registry most callers want.
+DEFAULT_REGISTRY = RoleRegistry()
+
+
+def _parse_trigger(spec: Mapping[str, Any]) -> Trigger:
+    kind = spec.get("type")
+    if kind == "always":
+        return Always()
+    if kind == "never":
+        return Never()
+    if kind == "periodic":
+        return Periodic(every=int(spec["every"]), offset=int(spec.get("offset", 0)))
+    if kind == "after":
+        return After(float(spec["start_time"]))
+    if kind == "on_verdict":
+        verdicts = tuple(
+            Verdict(v) for v in spec.get("verdicts", [Verdict.FAIL.value])
+        )
+        return OnVerdict(spec["role"], verdicts)
+    raise ConfigurationError(f"unknown trigger type {kind!r} in {dict(spec)}")
+
+
+def build_role_graph(
+    config: Sequence[Mapping[str, Any]],
+    resources: Optional[Mapping[str, Any]] = None,
+    registry: Optional[RoleRegistry] = None,
+) -> RoleGraph:
+    """Build a wired RoleGraph from a JSON-friendly role-spec list.
+
+    Each entry supports the keys ``role`` (registry name, required),
+    ``name`` (instance name), ``params`` (constructor kwargs), ``after``
+    (dependency names) and ``trigger`` (see :func:`_parse_trigger`).
+    Entries without ``after`` default to running after the previous entry,
+    reproducing the paper's sequential pipeline with zero boilerplate.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    graph = RoleGraph()
+    previous: Optional[str] = None
+    for index, entry in enumerate(config):
+        if "role" not in entry:
+            raise ConfigurationError(f"config entry {index} is missing the 'role' key")
+        params = dict(entry.get("params", {}))
+        if "name" in entry:
+            params.setdefault("name", entry["name"])
+        role = registry.create(entry["role"], params, resources)
+        after = list(entry.get("after", [previous] if previous else []))
+        trigger = _parse_trigger(entry["trigger"]) if "trigger" in entry else None
+        graph.add(role, after=after, trigger=trigger)
+        previous = role.name
+    return graph

@@ -1,0 +1,212 @@
+"""SafetyMonitor roles: geometric and STL-based safety assessment.
+
+The geometric monitor reproduces the paper's configuration — "geometric
+checks and simplified traffic rules ... verifies if the proposed maneuver
+maintains a minimum safety distance from all perceived dynamic objects
+based on predicted trajectories" (§IV.B) — plus an abrupt-maneuver rule
+that captures why ghost-induced panic braking is "deemed unsafe by the
+monitor" (§V.A).
+
+The STL monitor is the formal-specification variant §III.B.2 mentions
+("STL checks via integrated monitors like RTAMT"), backed by
+:mod:`repro.stl`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.role import Role, RoleContext, RoleKind, RoleResult, Verdict
+from ..sim.actions import Maneuver, ManeuverExecutor
+from ..sim.intersection import Route
+from ..sim.perception import PerceptionSnapshot
+from ..stl import OnlineMonitor
+from .generator import EGO_ROUTE_KEY, EGO_S_KEY, PERCEPTION_KEY
+from .geometry_checks import predict_min_separation
+
+
+class GeometricSafetyMonitor(Role):
+    """Predicted-trajectory minimum-separation monitor.
+
+    Verdicts: FAIL ("unsafe") when the proposed maneuver leads the ego
+    within ``unsafe_distance`` of a perceived object over the horizon, or
+    when it applies an abrupt deceleration at speed; WARNING between the
+    unsafe and warning thresholds; PASS otherwise.  The robustness margin
+    is exported as a score, as the paper's monitors return "quantitative
+    scores".
+
+    Args:
+        generator_name: role whose proposed action is assessed.
+        unsafe_distance: predicted footprint gap (m) counted as unsafe.
+        warning_distance: gap (m) below which a warning is raised.
+        horizon_s: prediction horizon (s).
+        abrupt_decel: |deceleration| (m/s^2) counted as abrupt.
+        abrupt_speed: minimum speed (m/s) for the abrupt rule to apply.
+        debounce_ticks: consecutive separation breaches required before the
+            FAIL verdict fires — one-tick blips are treated as measurement
+            noise (the abrupt-maneuver rule is not debounced).
+    """
+
+    kind = RoleKind.SAFETY_MONITOR
+
+    def __init__(
+        self,
+        generator_name: str = "Generator",
+        unsafe_distance: float = 1.0,
+        warning_distance: float = 2.5,
+        horizon_s: float = 2.5,
+        abrupt_decel: float = 5.5,
+        abrupt_speed: float = 4.0,
+        debounce_ticks: int = 4,
+        executor: Optional[ManeuverExecutor] = None,
+        name: str = "SafetyMonitor",
+    ) -> None:
+        super().__init__(name)
+        if warning_distance < unsafe_distance:
+            raise ValueError(
+                f"warning distance {warning_distance} must be >= unsafe distance {unsafe_distance}"
+            )
+        self.generator_name = generator_name
+        self.unsafe_distance = unsafe_distance
+        self.warning_distance = warning_distance
+        self.horizon_s = horizon_s
+        self.abrupt_decel = abrupt_decel
+        self.abrupt_speed = abrupt_speed
+        if debounce_ticks < 1:
+            raise ValueError(f"debounce_ticks must be >= 1, got {debounce_ticks}")
+        self.debounce_ticks = debounce_ticks
+        self.executor = executor or ManeuverExecutor()
+        self._breach_streak = 0
+
+    def reset(self) -> None:
+        self._breach_streak = 0
+
+    def execute(self, context: RoleContext) -> RoleResult:
+        snapshot: PerceptionSnapshot = context.state.require_world(PERCEPTION_KEY)
+        route: Route = context.state.require_world(EGO_ROUTE_KEY)
+        ego_s: float = context.state.require_world(EGO_S_KEY)
+
+        generator = context.state.output_of(self.generator_name)
+        proposed: Maneuver = (
+            generator.data.get("action") if generator else None
+        ) or Maneuver.PROCEED
+
+        prediction = predict_min_separation(
+            snapshot, route, ego_s, proposed, self.executor, horizon_s=self.horizon_s
+        )
+        margin = prediction.min_separation - self.unsafe_distance
+        scores = {
+            "min_separation": min(prediction.min_separation, 1e6),
+            "margin": max(min(margin, 1e6), -1e6),
+        }
+
+        # Rule 1: predicted separation violation (debounced against noise).
+        if prediction.min_separation < self.unsafe_distance:
+            self._breach_streak += 1
+            if self._breach_streak >= self.debounce_ticks:
+                obj = prediction.critical_object
+                detail = (
+                    f"proposed {proposed.value} reaches {prediction.min_separation:.1f} m "
+                    f"(< {self.unsafe_distance:.1f} m) from "
+                    f"{obj.kind.value + ' #' + str(obj.object_id) if obj else 'object'} "
+                    f"in {prediction.time_of_min:.1f} s"
+                )
+                return RoleResult(
+                    verdict=Verdict.FAIL, data={"reason": "separation"}, scores=scores, narrative=detail
+                )
+            return RoleResult(
+                verdict=Verdict.WARNING,
+                data={"reason": "separation_blip"},
+                scores=scores,
+                narrative=f"sub-threshold separation blip ({self._breach_streak}/{self.debounce_ticks})",
+            )
+        self._breach_streak = 0
+
+        # Rule 2: abrupt maneuver at speed (panic braking endangers traffic).
+        if (
+            prediction.initial_acceleration <= -self.abrupt_decel
+            and snapshot.ego_speed >= self.abrupt_speed
+        ):
+            detail = (
+                f"proposed {proposed.value} applies {prediction.initial_acceleration:.1f} m/s^2 "
+                f"at {snapshot.ego_speed:.1f} m/s — abrupt emergency maneuver"
+            )
+            return RoleResult(verdict=Verdict.FAIL, data={"reason": "abrupt"}, scores=scores, narrative=detail)
+
+        if prediction.min_separation < self.warning_distance:
+            return RoleResult(
+                verdict=Verdict.WARNING,
+                data={"reason": "proximity"},
+                scores=scores,
+                narrative=f"separation {prediction.min_separation:.1f} m below warning threshold",
+            )
+        return RoleResult(verdict=Verdict.PASS, data={"reason": "clear"}, scores=scores)
+
+
+class STLSafetyMonitor(Role):
+    """Formal-specification monitor over numeric world-state signals.
+
+    Feeds selected world-state keys into an online STL monitor each
+    iteration and fails when a concluded verdict shows negative
+    robustness.  Example property (the default): "within the next second
+    the ego keeps a 1 m gap to everything or is nearly stopped"::
+
+        G[0,1] (min_separation >= 1.0 | ego_speed <= 0.5)
+
+    Args:
+        formula: STL text over world-state keys.
+        period: sampling period in seconds (the orchestration tick).
+    """
+
+    kind = RoleKind.SAFETY_MONITOR
+
+    DEFAULT_FORMULA = "G[0,1] (min_separation >= 1.0 | ego_speed <= 0.5)"
+
+    def __init__(
+        self,
+        formula: Optional[str] = None,
+        period: float = 0.1,
+        name: str = "STLSafetyMonitor",
+    ) -> None:
+        super().__init__(name)
+        self._formula_text = formula or self.DEFAULT_FORMULA
+        self._period = period
+        self._monitor = OnlineMonitor(self._formula_text, period)
+
+    def reset(self) -> None:
+        self._monitor.reset()
+
+    def execute(self, context: RoleContext) -> RoleResult:
+        sample = {}
+        for variable in self._monitor.formula.variables():
+            value = context.state.world(variable)
+            if value is None or not isinstance(value, (int, float)):
+                return RoleResult(
+                    verdict=Verdict.WARNING,
+                    narrative=f"world state missing numeric signal {variable!r}",
+                )
+            sample[variable] = float(value)
+
+        verdicts = self._monitor.update(sample)
+        if not verdicts:
+            provisional = self._monitor.provisional(step=max(0, self._monitor.steps_observed - 1))
+            return RoleResult(
+                verdict=Verdict.PASS,
+                data={"concluded": False},
+                scores={"provisional_robustness": provisional if provisional is not None else math.inf},
+            )
+
+        worst = min(verdicts, key=lambda v: v.robustness)
+        scores = {"robustness": worst.robustness}
+        if worst.robustness < 0.0:
+            return RoleResult(
+                verdict=Verdict.FAIL,
+                data={"concluded": True, "step": worst.step},
+                scores=scores,
+                narrative=(
+                    f"STL property {self._formula_text!r} violated at t={worst.time:.1f}s "
+                    f"(robustness {worst.robustness:.2f})"
+                ),
+            )
+        return RoleResult(verdict=Verdict.PASS, data={"concluded": True, "step": worst.step}, scores=scores)

@@ -1,0 +1,98 @@
+"""SecurityAssessor role: attack direction and sensor-pattern monitoring.
+
+"Evaluates the system's security posture. Can analyze potential
+vulnerabilities based on the current state or AI output, or direct the
+FaultInjector" (§III.B.2).  For the use case it "directs the FaultInjector
+to periodically introduce specific attacks" (§IV.B): this implementation
+follows a scenario :class:`~repro.sim.scenario.AttackPlan`, optionally
+re-arming the attack on a duty cycle, and additionally runs a lightweight
+plausibility check over incoming perception (anomalously fast objects) as
+its posture-monitoring duty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.role import Role, RoleContext, RoleKind, RoleResult, Verdict
+from ..sim.perception import ObjectKind, PerceptionSnapshot
+from ..sim.scenario import AttackKind, AttackPlan
+from .fault_injector import DIRECTIVE_KEY, INTENSITY_KEY
+from .generator import PERCEPTION_KEY
+
+#: Object speed (m/s) beyond which perception is deemed implausible for
+#: urban traffic — the anomaly detector's threshold.
+IMPLAUSIBLE_SPEED = 13.0
+
+
+class ScriptedSecurityAssessor(Role):
+    """Drives the scenario's attack plan and watches for sensor anomalies.
+
+    Args:
+        plan: the scenario's attack schedule.
+        repeat_period: when set, the attack re-arms every ``repeat_period``
+            seconds after its first window (duty-cycled "periodic" attacks);
+            the on-time per cycle is the plan's duration.
+        detect_anomalies: run the plausibility check and emit WARNING
+            verdicts on suspicious perception.
+    """
+
+    kind = RoleKind.SECURITY_ASSESSOR
+
+    def __init__(
+        self,
+        plan: Optional[AttackPlan] = None,
+        repeat_period: Optional[float] = None,
+        detect_anomalies: bool = True,
+        name: str = "SecurityAssessor",
+    ) -> None:
+        super().__init__(name)
+        self.plan = plan or AttackPlan()
+        if repeat_period is not None and repeat_period <= 0.0:
+            raise ValueError(f"repeat_period must be positive, got {repeat_period}")
+        self.repeat_period = repeat_period
+        self.detect_anomalies = detect_anomalies
+
+    def _attack_active(self, now: float) -> bool:
+        plan = self.plan
+        if not plan.is_active_plan:
+            return False
+        if now < plan.start_time:
+            return False
+        if self.repeat_period is None:
+            return plan.active_at(now)
+        phase = (now - plan.start_time) % self.repeat_period
+        return phase < plan.duration
+
+    def execute(self, context: RoleContext) -> RoleResult:
+        active = self._attack_active(context.time)
+        directive = self.plan.kind if active else AttackKind.NONE
+        data = {
+            DIRECTIVE_KEY: directive,
+            INTENSITY_KEY: self.plan.intensity,
+            "attack_active": active,
+        }
+
+        anomaly = None
+        if self.detect_anomalies:
+            snapshot: Optional[PerceptionSnapshot] = context.state.world(PERCEPTION_KEY)
+            if snapshot is not None:
+                anomaly = self._find_anomaly(snapshot)
+
+        if anomaly is not None:
+            return RoleResult(
+                verdict=Verdict.WARNING,
+                data={**data, "anomaly": anomaly},
+                narrative=f"suspicious sensor pattern: {anomaly}",
+            )
+        return RoleResult(verdict=Verdict.INFO, data=data)
+
+    @staticmethod
+    def _find_anomaly(snapshot: PerceptionSnapshot) -> Optional[str]:
+        for obj in snapshot.objects:
+            if obj.kind is ObjectKind.VEHICLE and obj.speed > IMPLAUSIBLE_SPEED:
+                return (
+                    f"vehicle #{obj.object_id} at {obj.speed:.1f} m/s exceeds "
+                    f"urban plausibility ({IMPLAUSIBLE_SPEED:.0f} m/s)"
+                )
+        return None

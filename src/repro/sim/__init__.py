@@ -1,0 +1,94 @@
+"""Intersection micro-simulator: the CARLA substitute (see DESIGN.md).
+
+Provides a deterministic, seedable 2-D world — kinematic vehicles on an
+unsignalized four-way intersection, IDM background traffic with
+right-of-way logic, pedestrians, ground-truth collision detection and the
+Table I sensor suite.
+"""
+
+from .actions import LongitudinalLimits, Maneuver, ManeuverExecutor
+from .collision import CollisionEvent, detect_ego_collisions, first_collision
+from .intersection import (
+    APPROACH_LENGTH,
+    EXIT_LENGTH,
+    INTERSECTION_HALF_SIZE,
+    LANE_OFFSET,
+    Approach,
+    Crosswalk,
+    IntersectionMap,
+    Movement,
+    Route,
+    in_intersection_box,
+)
+from .pedestrian import Pedestrian
+from .perception import (
+    ObjectKind,
+    PerceivedObject,
+    PerceptionSnapshot,
+    PERCEPTION_RANGE,
+    perceive,
+)
+from .scenario import (
+    SCENARIO_BUILDERS,
+    AttackKind,
+    AttackPlan,
+    PedestrianSpec,
+    ScenarioSpec,
+    ScenarioType,
+    build_scenario,
+)
+from .sensors import SensorSuite, build_sensor_suite
+from .traffic import (
+    IDMParameters,
+    SpawnEvent,
+    TrafficController,
+    TrafficSpawner,
+    idm_acceleration,
+)
+from .vehicle import VEHICLE_LENGTH, VEHICLE_WIDTH, Vehicle, gap_along_route
+from .world import TICK_S, World
+
+__all__ = [
+    "World",
+    "TICK_S",
+    "Vehicle",
+    "VEHICLE_LENGTH",
+    "VEHICLE_WIDTH",
+    "gap_along_route",
+    "Pedestrian",
+    "IntersectionMap",
+    "Route",
+    "Approach",
+    "Movement",
+    "Crosswalk",
+    "LANE_OFFSET",
+    "INTERSECTION_HALF_SIZE",
+    "APPROACH_LENGTH",
+    "EXIT_LENGTH",
+    "in_intersection_box",
+    "Maneuver",
+    "ManeuverExecutor",
+    "LongitudinalLimits",
+    "IDMParameters",
+    "idm_acceleration",
+    "SpawnEvent",
+    "TrafficController",
+    "TrafficSpawner",
+    "PerceivedObject",
+    "PerceptionSnapshot",
+    "ObjectKind",
+    "perceive",
+    "PERCEPTION_RANGE",
+    "CollisionEvent",
+    "detect_ego_collisions",
+    "first_collision",
+    "SensorSuite",
+    "build_sensor_suite",
+    "ScenarioType",
+    "ScenarioSpec",
+    "AttackKind",
+    "AttackPlan",
+    "PedestrianSpec",
+    "SCENARIO_BUILDERS",
+    "build_scenario",
+]

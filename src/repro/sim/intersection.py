@@ -1,0 +1,281 @@
+"""Four-way unsignalized intersection map and route geometry.
+
+This is the road network of the paper's use case (§IV.A): a four-way
+intersection with one lane per direction under right-hand traffic.  The
+map exposes :class:`Route` objects — arc-length parameterized polylines —
+that vehicles follow; turning movements are quarter-circle arcs through
+the intersection box.
+
+Coordinate frame: the intersection centre is the origin; x grows east and
+y grows north.  An :class:`Approach` names the side a vehicle comes *from*
+(a vehicle with ``Approach.SOUTH`` drives northwards).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..geom import Vec2
+
+#: Lane centre offset from the road axis (half a 3.5 m lane).
+LANE_OFFSET = 1.75
+
+#: Half-width of the square conflict zone at the intersection centre.
+INTERSECTION_HALF_SIZE = 7.0
+
+#: Length of the approach leg before the intersection box.
+APPROACH_LENGTH = 60.0
+
+#: Length of the exit leg after the intersection box.
+EXIT_LENGTH = 40.0
+
+#: Sampling step for route polylines (metres).
+ROUTE_SAMPLE_STEP = 0.5
+
+
+class Approach(enum.Enum):
+    """The compass side a vehicle enters from."""
+
+    NORTH = "north"
+    SOUTH = "south"
+    EAST = "east"
+    WEST = "west"
+
+
+class Movement(enum.Enum):
+    """Turning movement through the intersection."""
+
+    STRAIGHT = "straight"
+    LEFT = "left"
+    RIGHT = "right"
+
+
+#: Rotation (radians, counter-clockwise) mapping the canonical from-south
+#: frame onto each approach.
+_APPROACH_ROTATION = {
+    Approach.SOUTH: 0.0,
+    Approach.WEST: -math.pi / 2.0,
+    Approach.NORTH: math.pi,
+    Approach.EAST: math.pi / 2.0,
+}
+
+
+@dataclass
+class Route:
+    """An arc-length parameterized path through the network.
+
+    Attributes:
+        approach: where the route enters from.
+        movement: the turning movement it performs.
+        waypoints: densely sampled polyline.
+    """
+
+    approach: Approach
+    movement: Movement
+    waypoints: List[Vec2]
+    _cumulative: List[float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("a route needs at least two waypoints")
+        self._cumulative = [0.0]
+        for i in range(1, len(self.waypoints)):
+            step = self.waypoints[i].distance_to(self.waypoints[i - 1])
+            self._cumulative.append(self._cumulative[-1] + step)
+
+    @property
+    def length(self) -> float:
+        """Total arc length of the route."""
+        return self._cumulative[-1]
+
+    def point_at(self, s: float) -> Vec2:
+        """Position at arc length ``s`` (clamped to the route ends)."""
+        s = max(0.0, min(s, self.length))
+        index = bisect.bisect_right(self._cumulative, s) - 1
+        if index >= len(self.waypoints) - 1:
+            return self.waypoints[-1]
+        seg_start = self._cumulative[index]
+        seg_len = self._cumulative[index + 1] - seg_start
+        t = 0.0 if seg_len == 0.0 else (s - seg_start) / seg_len
+        return self.waypoints[index].lerp(self.waypoints[index + 1], t)
+
+    def heading_at(self, s: float) -> float:
+        """Path tangent heading (radians) at arc length ``s``."""
+        s = max(0.0, min(s, self.length))
+        index = bisect.bisect_right(self._cumulative, s) - 1
+        index = min(index, len(self.waypoints) - 2)
+        direction = self.waypoints[index + 1] - self.waypoints[index]
+        return direction.angle()
+
+    def arc_length_of_nearest(self, point: Vec2) -> float:
+        """Arc length of the waypoint closest to ``point`` (coarse projection)."""
+        best_index = min(
+            range(len(self.waypoints)),
+            key=lambda i: self.waypoints[i].distance_to(point),
+        )
+        return self._cumulative[best_index]
+
+    @property
+    def entry_s(self) -> float:
+        """Arc length at which the route enters the intersection box."""
+        for i, point in enumerate(self.waypoints):
+            if _in_box(point):
+                return self._cumulative[i]
+        return self.length
+
+    @property
+    def exit_s(self) -> float:
+        """Arc length at which the route leaves the intersection box."""
+        for i in range(len(self.waypoints) - 1, -1, -1):
+            if _in_box(self.waypoints[i]):
+                return self._cumulative[min(i + 1, len(self.waypoints) - 1)]
+        return 0.0
+
+    def waypoints_ahead(self, s: float, count: int, spacing: float = 5.0) -> List[Vec2]:
+        """Upcoming waypoints for the HD-map sensor channel (Table I)."""
+        return [self.point_at(s + (i + 1) * spacing) for i in range(count)]
+
+
+def _in_box(point: Vec2, half_size: float = INTERSECTION_HALF_SIZE) -> bool:
+    return abs(point.x) <= half_size and abs(point.y) <= half_size
+
+
+def _sample_line(start: Vec2, end: Vec2) -> List[Vec2]:
+    length = start.distance_to(end)
+    steps = max(1, int(math.ceil(length / ROUTE_SAMPLE_STEP)))
+    return [start.lerp(end, i / steps) for i in range(steps + 1)]
+
+
+def _sample_arc(center: Vec2, radius: float, start_angle: float, end_angle: float) -> List[Vec2]:
+    arc_len = abs(end_angle - start_angle) * radius
+    steps = max(2, int(math.ceil(arc_len / ROUTE_SAMPLE_STEP)))
+    return [
+        center + Vec2.from_polar(radius, start_angle + (end_angle - start_angle) * i / steps)
+        for i in range(steps + 1)
+    ]
+
+
+def _canonical_waypoints(movement: Movement) -> List[Vec2]:
+    """Waypoints for the from-south approach; other approaches are rotations."""
+    entry = Vec2(LANE_OFFSET, -INTERSECTION_HALF_SIZE)
+    start = Vec2(LANE_OFFSET, -INTERSECTION_HALF_SIZE - APPROACH_LENGTH)
+    points = _sample_line(start, entry)
+
+    if movement is Movement.STRAIGHT:
+        through_end = Vec2(LANE_OFFSET, INTERSECTION_HALF_SIZE)
+        exit_end = Vec2(LANE_OFFSET, INTERSECTION_HALF_SIZE + EXIT_LENGTH)
+        points += _sample_line(entry, through_end)[1:]
+        points += _sample_line(through_end, exit_end)[1:]
+    elif movement is Movement.RIGHT:
+        # Clockwise quarter circle from the south entry to the east exit.
+        center = Vec2(INTERSECTION_HALF_SIZE, -INTERSECTION_HALF_SIZE)
+        radius = INTERSECTION_HALF_SIZE - LANE_OFFSET
+        points += _sample_arc(center, radius, math.pi, math.pi / 2.0)[1:]
+        exit_start = Vec2(INTERSECTION_HALF_SIZE, -LANE_OFFSET)
+        exit_end = Vec2(INTERSECTION_HALF_SIZE + EXIT_LENGTH, -LANE_OFFSET)
+        points += _sample_line(exit_start, exit_end)[1:]
+    elif movement is Movement.LEFT:
+        # Counter-clockwise quarter circle from the south entry to the west exit.
+        center = Vec2(-INTERSECTION_HALF_SIZE, -INTERSECTION_HALF_SIZE)
+        radius = INTERSECTION_HALF_SIZE + LANE_OFFSET
+        points += _sample_arc(center, radius, 0.0, math.pi / 2.0)[1:]
+        exit_start = Vec2(-INTERSECTION_HALF_SIZE, LANE_OFFSET)
+        exit_end = Vec2(-INTERSECTION_HALF_SIZE - EXIT_LENGTH, LANE_OFFSET)
+        points += _sample_line(exit_start, exit_end)[1:]
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown movement {movement}")
+    return points
+
+
+@dataclass(frozen=True)
+class Crosswalk:
+    """A straight pedestrian crossing, parameterized by its two kerb points."""
+
+    start: Vec2
+    end: Vec2
+
+    @property
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+    def point_at(self, s: float) -> Vec2:
+        t = 0.0 if self.length == 0.0 else max(0.0, min(1.0, s / self.length))
+        return self.start.lerp(self.end, t)
+
+    def heading(self) -> float:
+        return (self.end - self.start).angle()
+
+
+class IntersectionMap:
+    """The road network: 12 routes (4 approaches x 3 movements) + crosswalks.
+
+    Routes are built eagerly and cached; route pairs that geometrically
+    conflict inside the intersection box are precomputed for the background
+    traffic's right-of-way logic.
+    """
+
+    #: Gap (metres) below which two routes are considered conflicting.
+    CONFLICT_DISTANCE = 2.5
+
+    def __init__(self) -> None:
+        self._routes: Dict[Tuple[Approach, Movement], Route] = {}
+        for approach in Approach:
+            rotation = _APPROACH_ROTATION[approach]
+            for movement in Movement:
+                waypoints = [p.rotated(rotation) for p in _canonical_waypoints(movement)]
+                self._routes[(approach, movement)] = Route(approach, movement, waypoints)
+        self._conflicts = self._compute_conflicts()
+        #: South-side crossing used by the pedestrian scenario: it crosses
+        #: the from-south approach lane just before the intersection box.
+        self.south_crosswalk = Crosswalk(
+            Vec2(-6.0, -(INTERSECTION_HALF_SIZE + 2.0)),
+            Vec2(6.0, -(INTERSECTION_HALF_SIZE + 2.0)),
+        )
+
+    def route(self, approach: Approach, movement: Movement) -> Route:
+        """The route for an (approach, movement) pair."""
+        return self._routes[(approach, movement)]
+
+    @property
+    def routes(self) -> "List[Route]":
+        return list(self._routes.values())
+
+    def conflict(self, a: Route, b: Route) -> bool:
+        """True when the two routes cross paths inside the intersection."""
+        return (self._key(a), self._key(b)) in self._conflicts
+
+    @staticmethod
+    def _key(route: Route) -> Tuple[Approach, Movement]:
+        return (route.approach, route.movement)
+
+    def _compute_conflicts(self) -> "set[Tuple[Tuple[Approach, Movement], Tuple[Approach, Movement]]]":
+        conflicts = set()
+        routes = list(self._routes.values())
+        for i, a in enumerate(routes):
+            a_points = [p for p in a.waypoints if _in_box(p, INTERSECTION_HALF_SIZE + 1.0)]
+            for b in routes[i + 1:]:
+                if a.approach == b.approach:
+                    continue
+                b_points = [p for p in b.waypoints if _in_box(p, INTERSECTION_HALF_SIZE + 1.0)]
+                if self._polylines_close(a_points, b_points):
+                    conflicts.add((self._key(a), self._key(b)))
+                    conflicts.add((self._key(b), self._key(a)))
+        return conflicts
+
+    @classmethod
+    def _polylines_close(cls, a_points: List[Vec2], b_points: List[Vec2]) -> bool:
+        threshold = cls.CONFLICT_DISTANCE
+        for pa in a_points:
+            for pb in b_points:
+                if pa.distance_to(pb) <= threshold:
+                    return True
+        return False
+
+
+def in_intersection_box(point: Vec2, margin: float = 0.0) -> bool:
+    """True when ``point`` lies inside the central conflict zone."""
+    return _in_box(point, INTERSECTION_HALF_SIZE + margin)

@@ -1,0 +1,69 @@
+"""Pedestrian entities for the crossing scenario (§IV.C, scenario 6)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..geom import Circle, KinematicState, Vec2
+from .intersection import Crosswalk
+
+#: Body radius used for the circular footprint (metres).
+PEDESTRIAN_RADIUS = 0.35
+
+#: Typical walking speed (m/s).
+WALKING_SPEED = 1.4
+
+_pedestrian_ids = itertools.count(1000)
+
+
+@dataclass
+class Pedestrian:
+    """A pedestrian walking along a crosswalk at constant speed.
+
+    Attributes:
+        crosswalk: the crossing being walked.
+        s: distance travelled along the crosswalk (m).
+        speed: walking speed (m/s).
+        start_time: simulation time (s) at which the pedestrian starts moving.
+    """
+
+    crosswalk: Crosswalk
+    s: float = 0.0
+    speed: float = WALKING_SPEED
+    start_time: float = 0.0
+    pedestrian_id: int = field(default_factory=lambda: next(_pedestrian_ids))
+    radius: float = PEDESTRIAN_RADIUS
+
+    @property
+    def position(self) -> Vec2:
+        return self.crosswalk.point_at(self.s)
+
+    @property
+    def heading(self) -> float:
+        return self.crosswalk.heading()
+
+    @property
+    def finished(self) -> bool:
+        """True once the far kerb has been reached."""
+        return self.s >= self.crosswalk.length
+
+    def velocity_at(self, now: float) -> Vec2:
+        """World velocity (zero before ``start_time`` or after finishing)."""
+        if now < self.start_time or self.finished:
+            return Vec2.zero()
+        return Vec2.unit(self.heading) * self.speed
+
+    def footprint(self) -> Circle:
+        return Circle(center=self.position, radius=self.radius)
+
+    def kinematic_state(self, now: float) -> KinematicState:
+        return KinematicState(position=self.position, velocity=self.velocity_at(now))
+
+    def step(self, dt: float, now: float) -> None:
+        """Advance the walk; stands still until ``start_time``."""
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if now < self.start_time or self.finished:
+            return
+        self.s = min(self.s + self.speed * dt, self.crosswalk.length)

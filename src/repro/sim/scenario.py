@@ -1,0 +1,353 @@
+"""The six evaluation scenarios of the paper's use case (§IV.C).
+
+Each builder produces a :class:`ScenarioSpec` — ego route, background
+traffic schedule, optional pedestrian, optional attack plan and a timeout.
+Per-seed jitter reproduces the paper's "variations in traffic patterns and
+timing" across the 15 runs of every scenario.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .intersection import Approach, Movement
+from .traffic import SpawnEvent
+
+
+class ScenarioType(enum.Enum):
+    """Names of the paper's six test scenarios (§IV.C)."""
+
+    NOMINAL = "nominal"
+    CONGESTED = "congested"
+    CONFLICTING = "conflicting_traffic"
+    GHOST_ATTACK = "ghost_obstacle_attack"
+    SPOOF_ATTACK = "trajectory_spoof_attack"
+    PEDESTRIAN = "pedestrian_crossing"
+
+
+class AttackKind(enum.Enum):
+    """Fault-injection attack types available to the SecurityAssessor."""
+
+    NONE = "none"
+    GHOST_OBSTACLE = "ghost_obstacle"
+    TRAJECTORY_SPOOF = "trajectory_spoof"
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """When and how the SecurityAssessor directs the FaultInjector.
+
+    Attributes:
+        kind: attack type.
+        start_time: simulation time the attack begins (s).
+        duration: how long the fault stays active (s).
+        intensity: attack-specific magnitude in [0, 1] — ghost proximity or
+            spoof aggressiveness.
+    """
+
+    kind: AttackKind = AttackKind.NONE
+    start_time: float = 0.0
+    duration: float = 0.0
+    intensity: float = 1.0
+
+    @property
+    def is_active_plan(self) -> bool:
+        return self.kind is not AttackKind.NONE
+
+    def active_at(self, now: float) -> bool:
+        """True while the attack window covers ``now``."""
+        if not self.is_active_plan:
+            return False
+        return self.start_time <= now < self.start_time + self.duration
+
+
+@dataclass(frozen=True)
+class PedestrianSpec:
+    """Scheduling of the crossing pedestrian (scenario 6).
+
+    ``from_east`` reverses the walking direction: an east-side start puts
+    the kerb right next to the ego's lane, so the pedestrian reaches the
+    ego corridor with very little warning — the short-notice variant.
+    """
+
+    start_time: float
+    speed: float = 1.4
+    from_east: bool = False
+
+
+@dataclass
+class ScenarioSpec:
+    """A fully instantiated, seedable scenario."""
+
+    scenario_type: ScenarioType
+    seed: int
+    ego_approach: Approach = Approach.SOUTH
+    ego_movement: Movement = Movement.STRAIGHT
+    ego_start_s: float = 20.0
+    ego_start_speed: float = 7.0
+    spawn_schedule: List[SpawnEvent] = field(default_factory=list)
+    pedestrian: Optional[PedestrianSpec] = None
+    attack: AttackPlan = field(default_factory=AttackPlan)
+    timeout_s: float = 40.0
+
+    @property
+    def name(self) -> str:
+        return self.scenario_type.value
+
+
+def _jitter(rng: random.Random, value: float, spread: float) -> float:
+    """Uniform jitter of ``value`` by up to ±``spread``."""
+    return value + rng.uniform(-spread, spread)
+
+
+def build_nominal(seed: int) -> ScenarioSpec:
+    """Light traffic, clear right-of-way for the ego.
+
+    One oncoming opposite-lane vehicle (visible, non-conflicting) and one
+    right-turner from the east that merges into the ego's exit lane around
+    the time the ego leaves the box — usually well clear, occasionally a
+    tight merge, which is where the paper's single nominal monitor flag
+    (1/15) comes from.
+    """
+    rng = random.Random(f"nominal:{seed}")
+    schedule = [
+        SpawnEvent(
+            time=_jitter(rng, 0.5, 0.4),
+            approach=Approach.NORTH,
+            movement=Movement.STRAIGHT,
+            speed=_jitter(rng, 7.0, 1.0),
+        ),
+        SpawnEvent(
+            time=0.0,
+            approach=Approach.EAST,
+            movement=Movement.RIGHT,
+            speed=_jitter(rng, 6.5, 0.8),
+            advance=max(0.0, _jitter(rng, 4.0, 6.0)),
+        ),
+    ]
+    return ScenarioSpec(
+        scenario_type=ScenarioType.NOMINAL,
+        seed=seed,
+        ego_start_speed=_jitter(rng, 7.0, 0.8),
+        spawn_schedule=schedule,
+    )
+
+
+def _cross_stream_event(
+    rng: random.Random,
+    approach: Approach,
+    movement: Movement,
+    arrival_s: float,
+    speed: float,
+) -> SpawnEvent:
+    """Spawn a vehicle timed to reach the intersection at ``arrival_s``.
+
+    Uses a head start when the arrival is sooner than a full approach run,
+    otherwise delays the spawn.
+    """
+    travel_full = 60.0 / speed  # APPROACH_LENGTH at constant speed
+    if arrival_s >= travel_full:
+        return SpawnEvent(
+            time=arrival_s - travel_full, approach=approach, movement=movement, speed=speed
+        )
+    return SpawnEvent(
+        time=0.0,
+        approach=approach,
+        movement=movement,
+        speed=speed,
+        advance=60.0 - speed * arrival_s,
+    )
+
+
+def build_congested(seed: int) -> ScenarioSpec:
+    """Moderate traffic density requiring yielding and gap selection.
+
+    A rolling cross-traffic stream — dominated by the east approach, which
+    outranks the ego under the right-hand rule — occupies the box through
+    the ego's natural arrival (~5 s) and beyond, so the correct behaviour
+    is to wait for a gap in the stream.
+    """
+    rng = random.Random(f"congested:{seed}")
+    stream = [
+        (Approach.EAST, Movement.STRAIGHT),
+        (Approach.NORTH, Movement.LEFT),
+        (Approach.EAST, Movement.LEFT),
+        (Approach.NORTH, Movement.STRAIGHT),
+        (Approach.EAST, Movement.STRAIGHT),
+        (Approach.WEST, Movement.STRAIGHT),
+    ]
+    schedule: List[SpawnEvent] = []
+    arrival = _jitter(rng, 4.3, 0.6)
+    for approach, movement in stream:
+        schedule.append(
+            _cross_stream_event(
+                rng, approach, movement, arrival, speed=_jitter(rng, 6.8, 0.8)
+            )
+        )
+        arrival += _jitter(rng, 2.0, 0.7)
+    return ScenarioSpec(
+        scenario_type=ScenarioType.CONGESTED,
+        seed=seed,
+        ego_start_speed=_jitter(rng, 6.5, 0.8),
+        spawn_schedule=schedule,
+        timeout_s=50.0,
+    )
+
+
+def build_conflicting(seed: int) -> ScenarioSpec:
+    """Vehicles arriving simultaneously from multiple directions."""
+    rng = random.Random(f"conflicting:{seed}")
+    # The ego reaches the entry after roughly (60 - 20) / 7 ~ 5.7 s; spawn
+    # conflicting traffic timed to arrive in the same window.
+    # The ego reaches the box entry ~5 s in.  Two east vehicles (the ego's
+    # right — they outrank it) arrive in and just after its window, and an
+    # oncoming left-turner crosses its path at the same time: vehicles
+    # "approaching simultaneously from multiple directions" (§IV.C).
+    schedule = [
+        _cross_stream_event(
+            rng, Approach.EAST, Movement.STRAIGHT,
+            arrival_s=_jitter(rng, 5.0, 0.7), speed=_jitter(rng, 7.5, 0.6),
+        ),
+        _cross_stream_event(
+            rng, Approach.EAST, Movement.STRAIGHT,
+            arrival_s=_jitter(rng, 8.0, 0.8), speed=_jitter(rng, 7.2, 0.6),
+        ),
+        _cross_stream_event(
+            rng, Approach.NORTH, Movement.LEFT,
+            arrival_s=_jitter(rng, 4.5, 0.8), speed=_jitter(rng, 6.5, 0.6),
+        ),
+        _cross_stream_event(
+            rng, Approach.WEST, Movement.STRAIGHT,
+            arrival_s=_jitter(rng, 7.0, 0.8), speed=_jitter(rng, 7.0, 0.6),
+        ),
+    ]
+    return ScenarioSpec(
+        scenario_type=ScenarioType.CONFLICTING,
+        seed=seed,
+        ego_start_speed=_jitter(rng, 7.0, 0.8),
+        spawn_schedule=schedule,
+        timeout_s=50.0,
+    )
+
+
+def build_ghost_attack(seed: int) -> ScenarioSpec:
+    """Nominal traffic plus a ghost obstacle near the intersection entry."""
+    rng = random.Random(f"ghost:{seed}")
+    base = build_nominal(seed)
+    # Fire while the ego approaches the entry (~3-5 s in).
+    # A follower on the ego's lane turns panic stops into rear-end risk.
+    schedule = list(base.spawn_schedule) + [
+        SpawnEvent(
+            time=0.0,
+            approach=Approach.SOUTH,
+            movement=Movement.STRAIGHT,
+            speed=_jitter(rng, 8.2, 0.5),
+            advance=_jitter(rng, 10.0, 3.0),
+            tailgater=True,
+        ),
+    ]
+    attack = AttackPlan(
+        kind=AttackKind.GHOST_OBSTACLE,
+        start_time=_jitter(rng, 5.0, 2.8),
+        duration=_jitter(rng, 4.0, 1.0),
+        intensity=rng.uniform(0.6, 1.0),
+    )
+    return ScenarioSpec(
+        scenario_type=ScenarioType.GHOST_ATTACK,
+        seed=seed,
+        ego_start_speed=base.ego_start_speed,
+        spawn_schedule=schedule,
+        attack=attack,
+    )
+
+
+def build_spoof_attack(seed: int) -> ScenarioSpec:
+    """Congested traffic with a spoofed-aggressive oncoming trajectory.
+
+    The cross-traffic stream continues well past the base congested window
+    so an over-cautious planner faces a genuinely hard gap-acceptance
+    problem (the §V.B gridlock pathway needs traffic to still be flowing
+    while the planner hesitates).
+    """
+    rng = random.Random(f"spoof:{seed}")
+    base = build_congested(seed)
+    schedule = list(base.spawn_schedule)
+    stream = [(Approach.EAST, Movement.STRAIGHT), (Approach.WEST, Movement.STRAIGHT)]
+    t = 14.0
+    i = 0
+    while t < 56.0:
+        approach, movement = stream[i % len(stream)]
+        schedule.append(
+            SpawnEvent(
+                time=_jitter(rng, t, 0.8),
+                approach=approach,
+                movement=movement,
+                speed=_jitter(rng, 6.8, 1.0),
+            )
+        )
+        t += _jitter(rng, 4.2, 0.8)
+        i += 1
+    attack = AttackPlan(
+        kind=AttackKind.TRAJECTORY_SPOOF,
+        start_time=_jitter(rng, 3.0, 1.0),
+        duration=_jitter(rng, 8.0, 2.0),
+        intensity=rng.uniform(0.4, 1.0),
+    )
+    return ScenarioSpec(
+        scenario_type=ScenarioType.SPOOF_ATTACK,
+        seed=seed,
+        ego_start_speed=base.ego_start_speed,
+        spawn_schedule=schedule,
+        attack=attack,
+        timeout_s=60.0,
+    )
+
+
+def build_pedestrian(seed: int) -> ScenarioSpec:
+    """A pedestrian crossing the ego's intended path before the box."""
+    rng = random.Random(f"pedestrian:{seed}")
+    # The ego covers (entry - start - crosswalk offset) ~ 31 m before the
+    # crossing; time the pedestrian so paths intersect.
+    from_east = rng.random() < 0.4
+    # East-side starts are the short-notice variant: the kerb is right next
+    # to the ego lane, so time them to coincide with the ego's approach.
+    start = _jitter(rng, 3.8, 0.7) if from_east else _jitter(rng, 1.5, 1.0)
+    pedestrian = PedestrianSpec(
+        start_time=start,
+        speed=_jitter(rng, 1.4, 0.2),
+        from_east=from_east,
+    )
+    schedule = [
+        SpawnEvent(
+            time=_jitter(rng, 1.0, 0.5),
+            approach=Approach.NORTH,
+            movement=Movement.STRAIGHT,
+            speed=_jitter(rng, 6.5, 1.0),
+        ),
+    ]
+    return ScenarioSpec(
+        scenario_type=ScenarioType.PEDESTRIAN,
+        seed=seed,
+        ego_start_speed=_jitter(rng, 7.0, 0.8),
+        spawn_schedule=schedule,
+        pedestrian=pedestrian,
+    )
+
+
+#: Registry mapping scenario type to its builder.
+SCENARIO_BUILDERS: Dict[ScenarioType, Callable[[int], ScenarioSpec]] = {
+    ScenarioType.NOMINAL: build_nominal,
+    ScenarioType.CONGESTED: build_congested,
+    ScenarioType.CONFLICTING: build_conflicting,
+    ScenarioType.GHOST_ATTACK: build_ghost_attack,
+    ScenarioType.SPOOF_ATTACK: build_spoof_attack,
+    ScenarioType.PEDESTRIAN: build_pedestrian,
+}
+
+
+def build_scenario(scenario_type: ScenarioType, seed: int) -> ScenarioSpec:
+    """Instantiate a scenario by type and seed."""
+    return SCENARIO_BUILDERS[scenario_type](seed)

@@ -1,0 +1,154 @@
+"""Vehicle entities: arc-length kinematics along a route.
+
+Vehicles follow their :class:`~repro.sim.intersection.Route` with a
+longitudinal state ``(s, v, a)``; lateral dynamics are abstracted away
+(positions and headings come from the route geometry).  This is the level
+of fidelity the framework's tactical assurance loop consumes — perceived
+poses and velocities — per the substitution argument in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geom import OBB, KinematicState, Vec2
+from .intersection import Route, in_intersection_box
+
+#: Standard passenger-car footprint (metres).
+VEHICLE_LENGTH = 4.5
+VEHICLE_WIDTH = 2.0
+
+_vehicle_ids = itertools.count(1)
+
+
+@dataclass
+class Vehicle:
+    """A vehicle progressing along a route.
+
+    Attributes:
+        route: path being followed.
+        s: arc length along the route (m).
+        speed: longitudinal speed (m/s), never negative.
+        acceleration: current commanded/applied acceleration (m/s^2).
+        is_ego: True for the vehicle under the planner's control.
+        vehicle_id: unique id, stable for the lifetime of the world.
+    """
+
+    route: Route
+    s: float = 0.0
+    speed: float = 0.0
+    acceleration: float = 0.0
+    is_ego: bool = False
+    vehicle_id: int = field(default_factory=lambda: next(_vehicle_ids))
+    length: float = VEHICLE_LENGTH
+    width: float = VEHICLE_WIDTH
+    #: Aggressive short-headway follower (see TrafficController).
+    tailgater: bool = False
+    #: Acceleration applied on the previous step, for jerk computation.
+    previous_acceleration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed < 0.0:
+            raise ValueError(f"speed must be non-negative, got {self.speed}")
+
+    # ------------------------------------------------------------------
+    # derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Vec2:
+        """World position of the vehicle centre."""
+        return self.route.point_at(self.s)
+
+    @property
+    def heading(self) -> float:
+        """World heading (radians) from the route tangent."""
+        return self.route.heading_at(self.s)
+
+    @property
+    def velocity(self) -> Vec2:
+        """World velocity vector."""
+        return Vec2.unit(self.heading) * self.speed
+
+    def footprint(self) -> OBB:
+        """Oriented bounding box of the vehicle body."""
+        return OBB(
+            center=self.position,
+            heading=self.heading,
+            half_length=self.length / 2.0,
+            half_width=self.width / 2.0,
+        )
+
+    def kinematic_state(self) -> KinematicState:
+        """Point-mass state used by trajectory prediction."""
+        return KinematicState(position=self.position, velocity=self.velocity)
+
+    # ------------------------------------------------------------------
+    # progress queries
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once the vehicle has driven off the end of its route."""
+        return self.s >= self.route.length
+
+    @property
+    def in_intersection(self) -> bool:
+        """True while the vehicle centre is inside the conflict zone."""
+        return in_intersection_box(self.position)
+
+    @property
+    def cleared_intersection(self) -> bool:
+        """True once the vehicle has fully passed the conflict zone."""
+        return self.s >= self.route.exit_s + self.length / 2.0
+
+    def distance_to_entry(self) -> float:
+        """Remaining distance to the intersection entry (<= 0 once inside)."""
+        return self.route.entry_s - self.s
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def apply_acceleration(self, acceleration: float) -> None:
+        """Set the acceleration command for the next integration step."""
+        self.previous_acceleration = self.acceleration
+        self.acceleration = acceleration
+
+    def step(self, dt: float) -> None:
+        """Integrate the longitudinal state over ``dt`` seconds.
+
+        Uses semi-implicit Euler and clamps the speed at zero: braking never
+        makes a vehicle reverse.
+        """
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        new_speed = self.speed + self.acceleration * dt
+        if new_speed < 0.0:
+            # Come to rest part-way through the step.
+            if self.acceleration < 0.0:
+                time_to_stop = self.speed / -self.acceleration
+                self.s += self.speed * time_to_stop / 2.0
+            self.speed = 0.0
+            return
+        self.s += (self.speed + new_speed) / 2.0 * dt
+        self.speed = new_speed
+
+    def jerk(self, dt: float) -> float:
+        """Instantaneous jerk estimate from the last acceleration change."""
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        return (self.acceleration - self.previous_acceleration) / dt
+
+
+def gap_along_route(leader: Vehicle, follower: Vehicle) -> Optional[float]:
+    """Bumper-to-bumper gap between two vehicles on the *same* route.
+
+    Returns ``None`` when the vehicles are on different routes or the
+    supposed leader is actually behind.
+    """
+    if leader.route is not follower.route:
+        return None
+    gap = leader.s - follower.s - (leader.length + follower.length) / 2.0
+    if leader.s < follower.s:
+        return None
+    return max(gap, 0.0)

@@ -1,0 +1,162 @@
+"""The simulated world: entities, 100 ms stepping and ground truth.
+
+``World`` is the CARLA stand-in.  It owns the intersection map, the ego
+vehicle, background traffic (spawner + IDM controller), pedestrians and the
+collision log; one :meth:`World.step` call advances 100 ms of simulated
+time, matching the paper's orchestration cadence (§IV.B.2).
+
+The ego's acceleration is *not* chosen here — the Action Execution side of
+the framework (:mod:`repro.env.sim_interface`) sets it before each step.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..geom import footprint_gap
+from .collision import CollisionEvent, detect_ego_collisions
+from .intersection import IntersectionMap
+from .pedestrian import Pedestrian
+from .scenario import ScenarioSpec
+from .traffic import TrafficController, TrafficSpawner
+from .vehicle import Vehicle
+
+#: Simulation tick, seconds (the paper aligns processing to 100 ms).
+TICK_S = 0.1
+
+
+class World:
+    """Deterministic, seedable intersection world for one scenario run."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.intersection = IntersectionMap()
+        self.time = 0.0
+        self.tick_count = 0
+        self.dt = TICK_S
+        #: RNG stream reserved for in-world stochasticity; seeded from the
+        #: scenario so runs are reproducible.
+        self.rng = random.Random(spec.seed * 7919 + 13)
+
+        ego_route = self.intersection.route(spec.ego_approach, spec.ego_movement)
+        # Entity ids are world-local (ego=1, traffic 2+, pedestrians 1001+)
+        # so identical seeds render byte-identical sensor text across runs.
+        self.ego = Vehicle(
+            route=ego_route,
+            s=spec.ego_start_s,
+            speed=spec.ego_start_speed,
+            is_ego=True,
+            vehicle_id=1,
+        )
+        self.vehicles: List[Vehicle] = [self.ego]
+        self.pedestrians: List[Pedestrian] = []
+        if spec.pedestrian is not None:
+            crosswalk = self.intersection.south_crosswalk
+            if spec.pedestrian.from_east:
+                from .intersection import Crosswalk
+
+                crosswalk = Crosswalk(crosswalk.end, crosswalk.start)
+            self.pedestrians.append(
+                Pedestrian(
+                    crosswalk=crosswalk,
+                    speed=spec.pedestrian.speed,
+                    start_time=spec.pedestrian.start_time,
+                    pedestrian_id=1001,
+                )
+            )
+
+        self._next_vehicle_id = 2
+        self._spawner = TrafficSpawner(
+            self.intersection, spec.spawn_schedule, id_allocator=self._allocate_vehicle_id
+        )
+        self._traffic = TrafficController(self.intersection)
+        self.collisions: List[CollisionEvent] = []
+        #: Simulation time at which the ego cleared the conflict zone.
+        self.ego_clearance_time: Optional[float] = None
+        #: Smallest ground-truth footprint gap between the ego and any other
+        #: entity over the run (m) — the near-miss record.
+        self.min_true_gap: float = float("inf")
+
+    def _allocate_vehicle_id(self) -> int:
+        vehicle_id = self._next_vehicle_id
+        self._next_vehicle_id += 1
+        return vehicle_id
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the world by one 100 ms tick.
+
+        The caller must have applied the ego acceleration for this tick
+        (via :meth:`Vehicle.apply_acceleration`) beforehand.
+        """
+        self._spawner.spawn_due(self.time, self.vehicles)
+        self._traffic.control(self.vehicles, self.pedestrians, self.time)
+
+        for vehicle in self.vehicles:
+            if not vehicle.finished:
+                vehicle.step(self.dt)
+        for pedestrian in self.pedestrians:
+            pedestrian.step(self.dt, self.time)
+
+        self.time += self.dt
+        self.tick_count += 1
+
+        self.collisions.extend(
+            event
+            for event in detect_ego_collisions(
+                self.ego, self.vehicles, self.pedestrians, self.time
+            )
+            if not self._already_logged(event)
+        )
+        ego_box = self.ego.footprint()
+        for vehicle in self.vehicles:
+            if vehicle.is_ego or vehicle.finished:
+                continue
+            if vehicle.position.distance_to(self.ego.position) < 15.0:
+                gap = footprint_gap(ego_box, vehicle.footprint())
+                self.min_true_gap = min(self.min_true_gap, gap)
+        for pedestrian in self.pedestrians:
+            if not pedestrian.finished and pedestrian.position.distance_to(self.ego.position) < 15.0:
+                gap = footprint_gap(ego_box, pedestrian.footprint())
+                self.min_true_gap = min(self.min_true_gap, gap)
+
+        if self.ego_clearance_time is None and self.ego.cleared_intersection:
+            self.ego_clearance_time = self.time
+
+    def _already_logged(self, event: CollisionEvent) -> bool:
+        """Suppress repeated contact reports against the same entity."""
+        return any(logged.other_id == event.other_id for logged in self.collisions)
+
+    # ------------------------------------------------------------------
+    # run-state queries
+    # ------------------------------------------------------------------
+    @property
+    def background_vehicles(self) -> List[Vehicle]:
+        return [v for v in self.vehicles if not v.is_ego]
+
+    @property
+    def had_collision(self) -> bool:
+        return bool(self.collisions)
+
+    @property
+    def timed_out(self) -> bool:
+        return self.time >= self.spec.timeout_s
+
+    @property
+    def done(self) -> bool:
+        """Run termination: ego cleared and past the box, collided, or timeout."""
+        return self.had_collision or self.timed_out or self.ego.finished or (
+            self.ego_clearance_time is not None
+            and self.time >= self.ego_clearance_time + 2.0
+        )
+
+    @property
+    def gridlocked(self) -> bool:
+        """True when the run timed out with the ego never clearing the box.
+
+        This is the paper's §V.B "stuck" outcome under trajectory spoofing.
+        """
+        return self.timed_out and self.ego_clearance_time is None and not self.had_collision

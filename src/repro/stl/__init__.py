@@ -1,0 +1,48 @@
+"""Signal Temporal Logic monitoring substrate (from-scratch RTAMT analog).
+
+The paper's :class:`~repro.roles.safety_monitor.SafetyMonitor` role can be
+backed by "formal specifications (e.g., STL checks via integrated monitors
+like RTAMT)" (§III.B.2).  This package provides that capability without the
+external dependency: a formula parser, offline robustness evaluation and an
+online monitor for live orchestration loops.
+"""
+
+from .ast import (
+    And,
+    Atom,
+    Eventually,
+    Expr,
+    Formula,
+    Globally,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    Until,
+)
+from .online import OnlineMonitor, Verdict
+from .parser import STLSyntaxError, parse
+from .robustness import evaluate, robustness, satisfied
+from .signals import Trace
+
+__all__ = [
+    "Formula",
+    "Expr",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Globally",
+    "Eventually",
+    "Until",
+    "Interval",
+    "parse",
+    "STLSyntaxError",
+    "Trace",
+    "evaluate",
+    "robustness",
+    "satisfied",
+    "OnlineMonitor",
+    "Verdict",
+]

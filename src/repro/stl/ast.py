@@ -1,0 +1,257 @@
+"""Abstract syntax tree for Signal Temporal Logic formulas.
+
+The subset implemented covers what dependability monitors in this framework
+need (and what RTAMT-style tools provide for discrete-time traces):
+
+* atomic predicates over affine expressions of trace variables,
+* Boolean connectives (negation, conjunction, disjunction, implication),
+* bounded and unbounded temporal operators ``G`` (globally), ``F``
+  (eventually) and ``U`` (until), with closed intervals in seconds.
+
+Formulas are immutable; :mod:`repro.stl.robustness` implements their
+quantitative semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed time interval ``[low, high]`` in seconds.
+
+    ``high`` may be ``math.inf`` for unbounded operators.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0.0:
+            raise ValueError(f"interval lower bound must be non-negative, got {self.low}")
+        if self.high < self.low:
+            raise ValueError(f"empty interval [{self.low}, {self.high}]")
+
+    @staticmethod
+    def unbounded() -> "Interval":
+        """The default interval ``[0, inf)`` of unadorned temporal operators."""
+        return Interval(0.0, math.inf)
+
+    @property
+    def is_bounded(self) -> bool:
+        return math.isfinite(self.high)
+
+    def to_steps(self, period: float) -> Tuple[int, Optional[int]]:
+        """Convert to sample-step bounds; ``None`` upper bound when unbounded."""
+        low = int(round(self.low / period))
+        high = None if not self.is_bounded else int(round(self.high / period))
+        return low, high
+
+    def __str__(self) -> str:
+        if not self.is_bounded and self.low == 0.0:
+            return ""
+        high = "inf" if not self.is_bounded else _format_number(self.high)
+        return f"[{_format_number(self.low)},{high}]"
+
+
+def _format_number(x: float) -> str:
+    return f"{x:g}"
+
+
+class Formula:
+    """Base class for STL formulas.  Subclasses are frozen dataclasses."""
+
+    def horizon(self) -> float:
+        """Future time (seconds) the formula needs to be fully evaluated.
+
+        ``math.inf`` for formulas containing unbounded temporal operators.
+        """
+        raise NotImplementedError
+
+    def variables(self) -> "set[str]":
+        """All trace variables the formula references."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Expr:
+    """An affine expression ``sum(coeffs[v] * v) + constant`` over variables."""
+
+    coeffs: Tuple[Tuple[str, float], ...]
+    constant: float = 0.0
+
+    @staticmethod
+    def var(name: str) -> "Expr":
+        return Expr(coeffs=((name, 1.0),))
+
+    @staticmethod
+    def const(value: float) -> "Expr":
+        return Expr(coeffs=(), constant=value)
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """Value of the expression under a variable assignment.
+
+        Raises:
+            KeyError: when a referenced variable is missing.
+        """
+        total = self.constant
+        for name, coeff in self.coeffs:
+            total += coeff * values[name]
+        return total
+
+    def scaled(self, factor: float) -> "Expr":
+        return Expr(
+            coeffs=tuple((name, coeff * factor) for name, coeff in self.coeffs),
+            constant=self.constant * factor,
+        )
+
+    def plus(self, other: "Expr") -> "Expr":
+        merged: Dict[str, float] = {}
+        for name, coeff in self.coeffs + other.coeffs:
+            merged[name] = merged.get(name, 0.0) + coeff
+        coeffs = tuple(sorted((n, c) for n, c in merged.items() if c != 0.0))
+        return Expr(coeffs=coeffs, constant=self.constant + other.constant)
+
+    def names(self) -> "set[str]":
+        return {name for name, _ in self.coeffs}
+
+    def __str__(self) -> str:
+        parts = []
+        for name, coeff in self.coeffs:
+            if coeff == 1.0:
+                parts.append(name)
+            else:
+                parts.append(f"{_format_number(coeff)}*{name}")
+        if self.constant != 0.0 or not parts:
+            parts.append(_format_number(self.constant))
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """Atomic predicate ``expr >= 0``.
+
+    All comparisons are normalized to this form by the parser; the robustness
+    of the atom at a step is simply the value of ``expr``.
+    """
+
+    expr: Expr
+    #: Original source text, kept for error messages and ``str()`` round-trips.
+    label: str = ""
+
+    def horizon(self) -> float:
+        return 0.0
+
+    def variables(self) -> "set[str]":
+        return self.expr.names()
+
+    def __str__(self) -> str:
+        return self.label or f"({self.expr} >= 0)"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def horizon(self) -> float:
+        return self.operand.horizon()
+
+    def variables(self) -> "set[str]":
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def horizon(self) -> float:
+        return max(self.left.horizon(), self.right.horizon())
+
+    def variables(self) -> "set[str]":
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def horizon(self) -> float:
+        return max(self.left.horizon(), self.right.horizon())
+
+    def variables(self) -> "set[str]":
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def horizon(self) -> float:
+        return max(self.left.horizon(), self.right.horizon())
+
+    def variables(self) -> "set[str]":
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    operand: Formula
+    interval: Interval
+
+    def horizon(self) -> float:
+        return self.interval.high + self.operand.horizon()
+
+    def variables(self) -> "set[str]":
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"G{self.interval}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    operand: Formula
+    interval: Interval
+
+    def horizon(self) -> float:
+        return self.interval.high + self.operand.horizon()
+
+    def variables(self) -> "set[str]":
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"F{self.interval}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+    interval: Interval
+
+    def horizon(self) -> float:
+        return self.interval.high + max(self.left.horizon(), self.right.horizon())
+
+    def variables(self) -> "set[str]":
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} U{self.interval} {self.right})"

@@ -1,0 +1,119 @@
+"""Online (incremental) STL monitoring.
+
+The :class:`OnlineMonitor` mirrors how RTAMT-style monitors are embedded in
+a runtime loop: state samples arrive one per tick, and a robustness verdict
+for step ``t`` is emitted as soon as the formula's future horizon beyond
+``t`` is covered by observed samples.
+
+For formulas with an unbounded horizon the monitor can never conclude
+satisfaction of a prefix, so :meth:`OnlineMonitor.update` only reports
+*provisional* robustness via :meth:`OnlineMonitor.provisional`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Union
+
+from .ast import Formula
+from .parser import parse
+from .robustness import evaluate
+from .signals import Trace
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """A concluded robustness verdict for a single step."""
+
+    step: int
+    time: float
+    robustness: float
+
+    @property
+    def satisfied(self) -> bool:
+        """Boolean reading; the zero boundary counts as satisfied."""
+        return self.robustness >= 0.0
+
+
+class OnlineMonitor:
+    """Incrementally monitor one STL formula over a live sample stream.
+
+    Args:
+        formula: a parsed :class:`~repro.stl.ast.Formula` or formula text.
+        period: sampling period in seconds.
+
+    Usage::
+
+        monitor = OnlineMonitor("G[0,1] (dist >= 2)", period=0.1)
+        for sample in stream:
+            for verdict in monitor.update(sample):
+                if not verdict.satisfied:
+                    ...
+
+    The monitor re-evaluates its buffered trace on every update.  This keeps
+    the semantics trivially identical to the offline evaluator at the cost
+    of O(n) work per tick; the scalability benchmark
+    (``benchmarks/bench_stl.py``) quantifies the resulting per-tick cost,
+    which is what the paper's §VI.C scalability discussion is about.
+    """
+
+    def __init__(self, formula: Union[Formula, str], period: float) -> None:
+        self._formula = parse(formula) if isinstance(formula, str) else formula
+        self._trace = Trace(period=period)
+        horizon_s = self._formula.horizon()
+        if math.isinf(horizon_s):
+            self._horizon_steps: Optional[int] = None
+        else:
+            self._horizon_steps = int(round(horizon_s / period))
+        self._concluded_upto = 0  # first step without a final verdict
+
+    @property
+    def formula(self) -> Formula:
+        return self._formula
+
+    @property
+    def horizon_steps(self) -> Optional[int]:
+        """Future samples needed beyond a step to conclude it; ``None`` = unbounded."""
+        return self._horizon_steps
+
+    @property
+    def steps_observed(self) -> int:
+        return len(self._trace)
+
+    def update(self, sample: Mapping[str, float]) -> List[Verdict]:
+        """Feed one sample; return newly *concluded* verdicts (possibly none)."""
+        self._trace.append(sample)
+        if self._horizon_steps is None:
+            return []
+        n = len(self._trace)
+        concludable = n - self._horizon_steps  # steps 0..concludable-1 are final
+        if concludable <= self._concluded_upto:
+            return []
+        values = evaluate(self._formula, self._trace)
+        verdicts = [
+            Verdict(step=i, time=i * self._trace.period, robustness=values[i])
+            for i in range(self._concluded_upto, concludable)
+        ]
+        self._concluded_upto = concludable
+        return verdicts
+
+    def provisional(self, step: int = 0) -> Optional[float]:
+        """Robustness of ``step`` over the trace observed so far.
+
+        For bounded-horizon formulas this equals the final verdict once
+        enough samples arrived; before that (and always, for unbounded
+        formulas) it reflects truncated-trace semantics and may still change.
+        Returns ``None`` when nothing has been observed yet.
+        """
+        if len(self._trace) == 0:
+            return None
+        values = evaluate(self._formula, self._trace)
+        if step < 0 or step >= len(values):
+            raise IndexError(f"step {step} outside observed trace of length {len(values)}")
+        return values[step]
+
+    def reset(self) -> None:
+        """Drop all buffered samples and verdict progress."""
+        self._trace = Trace(period=self._trace.period)
+        self._concluded_upto = 0

@@ -1,0 +1,322 @@
+"""Recursive-descent parser for STL formula text.
+
+Grammar (whitespace-insensitive)::
+
+    formula  := implies
+    implies  := or ('->' implies)?                 # right associative
+    or       := and ('|' and)*
+    and      := until ('&' until)*
+    until    := unary ('U' interval? unary)?
+    unary    := '!' unary
+              | ('G' | 'F') interval? unary
+              | '(' formula ')'
+              | atom
+    interval := '[' number ',' (number | 'inf') ']'
+    atom     := expr ('<=' | '<' | '>=' | '>') expr
+    expr     := term (('+' | '-') term)*
+    term     := factor ('*' factor)*
+    factor   := number | identifier | '-' factor | '(' expr ')'
+
+Comparisons are normalized to ``expr >= 0`` atoms; strict comparisons share
+the quantitative semantics of their non-strict counterparts, as is standard
+for robustness monitoring.  ``G``/``F``/``U`` without an interval default to
+``[0, inf)``.
+
+Example::
+
+    >>> parse("G[0,2] (dist - 2.0 >= 0 | speed <= 0.5)")
+    ...
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .ast import (
+    And,
+    Atom,
+    Eventually,
+    Expr,
+    Formula,
+    Globally,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    Until,
+)
+
+
+class STLSyntaxError(ValueError):
+    """Raised when formula text cannot be parsed."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        pointer = " " * position + "^"
+        super().__init__(f"{message} at position {position}:\n  {text}\n  {pointer}")
+        self.text = text
+        self.position = position
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<NUMBER>\d+\.\d*|\.\d+|\d+)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<ARROW>->)
+  | (?P<LE><=)
+  | (?P<GE>>=)
+  | (?P<OP>[()\[\],&|!<>*+-])
+  | (?P<WS>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"G", "F", "U", "inf"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise STLSyntaxError(f"unexpected character {text[pos]!r}", text, pos)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "NAME" and value in _KEYWORDS:
+            kind = value.upper() if value != "inf" else "INF"
+        if kind != "WS":
+            tokens.append(_Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(_Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token stream helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise STLSyntaxError(
+                f"expected {want!r}, found {token.value or 'end of input'!r}",
+                self._text,
+                token.position,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # grammar rules
+    # ------------------------------------------------------------------
+    def parse(self) -> Formula:
+        formula = self._implies()
+        token = self._peek()
+        if token.kind != "EOF":
+            raise STLSyntaxError(
+                f"unexpected trailing input {token.value!r}", self._text, token.position
+            )
+        return formula
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self._accept("ARROW"):
+            right = self._implies()
+            return Implies(left, right)
+        return left
+
+    def _or(self) -> Formula:
+        node = self._and()
+        while self._accept("OP", "|"):
+            node = Or(node, self._and())
+        return node
+
+    def _and(self) -> Formula:
+        node = self._until()
+        while self._accept("OP", "&"):
+            node = And(node, self._until())
+        return node
+
+    def _until(self) -> Formula:
+        left = self._unary()
+        if self._accept("U"):
+            interval = self._maybe_interval()
+            right = self._unary()
+            return Until(left, right, interval)
+        return left
+
+    def _unary(self) -> Formula:
+        if self._accept("OP", "!"):
+            return Not(self._unary())
+        if self._accept("G"):
+            interval = self._maybe_interval()
+            return Globally(self._unary(), interval)
+        if self._accept("F"):
+            interval = self._maybe_interval()
+            return Eventually(self._unary(), interval)
+        # A '(' can open either a sub-formula or a parenthesized arithmetic
+        # expression inside an atom; disambiguate by look-ahead for a
+        # comparison operator at the same nesting depth.
+        if self._peek().kind == "OP" and self._peek().value == "(" and self._is_subformula():
+            self._advance()
+            node = self._implies()
+            self._expect("OP", ")")
+            return node
+        return self._atom()
+
+    def _maybe_interval(self) -> Interval:
+        if not self._accept("OP", "["):
+            return Interval.unbounded()
+        low = self._number()
+        self._expect("OP", ",")
+        if self._accept("INF"):
+            high = math.inf
+        else:
+            high = self._number()
+        self._expect("OP", "]")
+        token = self._tokens[self._index - 1]
+        try:
+            return Interval(low, high)
+        except ValueError as exc:
+            raise STLSyntaxError(str(exc), self._text, token.position) from exc
+
+    def _is_subformula(self) -> bool:
+        """Look ahead past a '(' to decide formula vs arithmetic grouping.
+
+        A parenthesized group is a sub-formula iff a comparison or logical
+        operator occurs before the matching ')' at depth zero relative to it.
+        """
+        depth = 0
+        for token in self._tokens[self._index:]:
+            if token.kind == "OP" and token.value == "(":
+                depth += 1
+            elif token.kind == "OP" and token.value == ")":
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth == 1:
+                if token.kind in ("LE", "GE", "ARROW", "G", "F", "U"):
+                    return True
+                if token.kind == "OP" and token.value in ("<", ">", "&", "|", "!"):
+                    return True
+            if token.kind == "EOF":
+                break
+        return False
+
+    def _atom(self) -> Formula:
+        start = self._peek().position
+        left = self._expr()
+        token = self._peek()
+        if token.kind == "GE":
+            self._advance()
+            expr = left.plus(self._expr().scaled(-1.0))
+        elif token.kind == "LE":
+            self._advance()
+            expr = self._expr().plus(left.scaled(-1.0))
+        elif token.kind == "OP" and token.value == ">":
+            self._advance()
+            expr = left.plus(self._expr().scaled(-1.0))
+        elif token.kind == "OP" and token.value == "<":
+            self._advance()
+            expr = self._expr().plus(left.scaled(-1.0))
+        else:
+            raise STLSyntaxError(
+                "expected a comparison operator", self._text, token.position
+            )
+        end = self._peek().position
+        label = self._text[start:end].strip()
+        return Atom(expr=expr, label=label)
+
+    def _expr(self) -> Expr:
+        node = self._term()
+        while True:
+            if self._accept("OP", "+"):
+                node = node.plus(self._term())
+            elif self._accept("OP", "-"):
+                node = node.plus(self._term().scaled(-1.0))
+            else:
+                return node
+
+    def _term(self) -> Expr:
+        node = self._factor()
+        while self._accept("OP", "*"):
+            right = self._factor()
+            node = self._multiply(node, right)
+        return node
+
+    def _multiply(self, left: Expr, right: Expr) -> Expr:
+        if left.coeffs and right.coeffs:
+            token = self._tokens[self._index - 1]
+            raise STLSyntaxError(
+                "non-linear expressions are not supported", self._text, token.position
+            )
+        if right.coeffs:
+            left, right = right, left
+        return left.scaled(right.constant)
+
+    def _factor(self) -> Expr:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            return Expr.const(float(token.value))
+        if token.kind == "NAME":
+            self._advance()
+            return Expr.var(token.value)
+        if token.kind == "OP" and token.value == "-":
+            self._advance()
+            return self._factor().scaled(-1.0)
+        if token.kind == "OP" and token.value == "(":
+            self._advance()
+            node = self._expr()
+            self._expect("OP", ")")
+            return node
+        raise STLSyntaxError(
+            f"expected a number, variable or '(', found {token.value or 'end of input'!r}",
+            self._text,
+            token.position,
+        )
+
+    def _number(self) -> float:
+        sign = -1.0 if self._accept("OP", "-") else 1.0
+        token = self._expect("NUMBER")
+        return sign * float(token.value)
+
+
+def parse(text: str) -> Formula:
+    """Parse STL formula text into a :class:`~repro.stl.ast.Formula`.
+
+    Raises:
+        STLSyntaxError: on malformed input, with a position marker.
+    """
+    if not text or not text.strip():
+        raise STLSyntaxError("empty formula", text, 0)
+    return _Parser(text).parse()

@@ -1,0 +1,107 @@
+"""Sampled signal traces for STL monitoring.
+
+The STL engine operates on discrete-time traces: every variable is sampled
+on the same uniform clock (the orchestrator's 100 ms tick), which matches
+how the paper's monitors consume state ("processing is aligned to 100 ms of
+simulated time", §IV.B.2).  Values between samples are irrelevant under the
+discrete semantics implemented in :mod:`repro.stl.robustness`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass
+class Trace:
+    """A multi-variable, uniformly sampled trace.
+
+    Attributes:
+        period: sampling period in seconds (must be positive).
+        signals: mapping from variable name to its sample list; all signals
+            must have equal length.
+    """
+
+    period: float
+    signals: Dict[str, List[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ValueError(f"sampling period must be positive, got {self.period}")
+        lengths = {name: len(samples) for name, samples in self.signals.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"signals have inconsistent lengths: {lengths}")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_records(records: Sequence[Mapping[str, float]], period: float) -> "Trace":
+        """Build a trace from per-step dictionaries.
+
+        Every record must contain the same variable set; this mirrors how the
+        :class:`~repro.core.state.StateManager` history is shaped.
+        """
+        if not records:
+            return Trace(period=period)
+        names = set(records[0])
+        signals: Dict[str, List[float]] = {name: [] for name in names}
+        for i, record in enumerate(records):
+            if set(record) != names:
+                raise ValueError(
+                    f"record {i} has variables {sorted(record)}, expected {sorted(names)}"
+                )
+            for name in names:
+                signals[name].append(float(record[name]))
+        return Trace(period=period, signals=signals)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.signals:
+            return 0
+        return len(next(iter(self.signals.values())))
+
+    @property
+    def variables(self) -> Iterable[str]:
+        """Names of the variables carried by the trace."""
+        return self.signals.keys()
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the trace (0 for empty/single-sample traces)."""
+        return max(0, len(self) - 1) * self.period
+
+    def value(self, name: str, index: int) -> float:
+        """Sample of variable ``name`` at step ``index``.
+
+        Raises:
+            KeyError: unknown variable.
+            IndexError: step outside the trace.
+        """
+        samples = self.signals[name]
+        if index < 0 or index >= len(samples):
+            raise IndexError(
+                f"sample index {index} out of range for trace of length {len(samples)}"
+            )
+        return samples[index]
+
+    def append(self, record: Mapping[str, float]) -> None:
+        """Append one sample for every variable (online monitoring feed)."""
+        if not self.signals:
+            for name, value in record.items():
+                self.signals[name] = [float(value)]
+            return
+        if set(record) != set(self.signals):
+            raise ValueError(
+                f"record variables {sorted(record)} do not match trace variables "
+                f"{sorted(self.signals)}"
+            )
+        for name, value in record.items():
+            self.signals[name].append(float(value))
+
+    def steps_for(self, seconds: float) -> int:
+        """Number of whole sampling steps spanning ``seconds`` (rounded)."""
+        return int(round(seconds / self.period))

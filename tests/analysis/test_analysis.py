@@ -1,0 +1,150 @@
+"""Tests for statistics, aggregation and rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    MeanStd,
+    Rate,
+    aggregate_scenario,
+    mean,
+    overall_average,
+    render_bar_chart,
+    render_table,
+    sample_std,
+)
+from repro.experiments.campaign import RunOutcome
+
+
+def outcome(
+    scenario="nominal",
+    seed=0,
+    flagged=False,
+    flags=0,
+    collision=False,
+    clearance=8.0,
+    gridlocked=False,
+):
+    return RunOutcome(
+        scenario=scenario,
+        seed=seed,
+        monitor_flagged=flagged,
+        safety_flag_count=flags,
+        collision=collision,
+        clearance_time=clearance,
+        gridlocked=gridlocked,
+        timed_out=gridlocked,
+        recovery_activations=2 if flagged else 0,
+        faults_injected=0,
+        comfort_violations=1,
+        performance_flags=0,
+        iterations=100,
+        wall_time_s=0.1,
+    )
+
+
+class TestRate:
+    def test_rendering_matches_paper_style(self):
+        assert str(Rate(13, 15)) == "86.7% (13/15)"
+
+    def test_zero_total(self):
+        assert Rate(0, 0).fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rate(5, 3)
+        with pytest.raises(ValueError):
+            Rate(-1, 3)
+
+
+class TestMeanStd:
+    def test_of_empty_is_none(self):
+        assert MeanStd.of([]) is None
+
+    def test_single_sample_zero_std(self):
+        summary = MeanStd.of([4.0])
+        assert summary.mean == 4.0
+        assert summary.std == 0.0
+
+    def test_known_values(self):
+        summary = MeanStd.of([2.0, 4.0, 6.0])
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.std == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=2))
+    def test_std_non_negative(self, values):
+        assert sample_std(values) >= 0.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestAggregation:
+    def test_rates_and_clearance(self):
+        outcomes = [
+            outcome(flagged=True, flags=3, collision=True, clearance=10.0),
+            outcome(seed=1, clearance=8.0),
+            outcome(seed=2, clearance=None, gridlocked=True),
+        ]
+        agg = aggregate_scenario("nominal", outcomes)
+        assert agg.monitor_flag_rate.count == 1
+        assert agg.collision_rate.count == 1
+        assert agg.gridlock_rate.count == 1
+        assert agg.clearance.n == 2  # gridlocked run contributes no sample
+        assert agg.mean_safety_flags == pytest.approx(1.0)
+
+    def test_empty_outcomes_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_scenario("x", [])
+
+    def test_overall_average(self):
+        a = aggregate_scenario("a", [outcome(flagged=True)])
+        b = aggregate_scenario("b", [outcome()])
+        flag, collision = overall_average([a, b])
+        assert flag == pytest.approx(50.0)
+        assert collision == 0.0
+
+    def test_overall_average_empty_rejected(self):
+        with pytest.raises(ValueError):
+            overall_average([])
+
+
+class TestRendering:
+    def test_table_alignment_and_content(self):
+        text = render_table(
+            headers=["name", "value"],
+            rows=[["alpha", "1"], ["b", "22"]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "alpha" in text and "22" in text
+        # All data rows share the same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_table_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            render_table(headers=["a", "b"], rows=[["only one"]])
+
+    def test_bar_chart_scales_to_peak(self):
+        text = render_bar_chart(["short", "long"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_errors_rendered(self):
+        text = render_bar_chart(["a"], [3.0], errors=[0.5], unit=" s")
+        assert "3.0 s ± 0.5" in text
+
+    def test_bar_chart_zero_values(self):
+        text = render_bar_chart(["a"], [0.0])
+        assert "#" not in text
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0], errors=[1.0, 2.0])

@@ -1,0 +1,86 @@
+"""Tests for offline trace verification."""
+
+import pytest
+
+from repro.analysis.trace_checks import (
+    PropertyVerdict,
+    check_trace,
+    frames_to_trace,
+    summarize,
+)
+from repro.env.recording import TraceFrame
+
+
+def frames(values):
+    return [
+        TraceFrame(iteration=i, time=i * 0.1, world={"speed": v, "gap": 5.0, "label": "x"})
+        for i, v in enumerate(values)
+    ]
+
+
+class TestFramesToTrace:
+    def test_extracts_signals(self):
+        trace = frames_to_trace(frames([1.0, 2.0, 3.0]), ["speed", "gap"])
+        assert trace.value("speed", 1) == 2.0
+        assert trace.value("gap", 2) == 5.0
+        assert len(trace) == 3
+
+    def test_empty_frames_rejected(self):
+        with pytest.raises(ValueError):
+            frames_to_trace([], ["speed"])
+
+    def test_missing_signal_rejected(self):
+        with pytest.raises(KeyError, match="missing"):
+            frames_to_trace(frames([1.0]), ["missing"])
+
+    def test_non_numeric_signal_rejected(self):
+        with pytest.raises(KeyError, match="label"):
+            frames_to_trace(frames([1.0]), ["label"])
+
+
+class TestCheckTrace:
+    def test_satisfied_property(self):
+        verdicts = check_trace(frames([1.0, 2.0, 3.0]), {"slow": "G (speed <= 5)"})
+        assert len(verdicts) == 1
+        assert verdicts[0].satisfied
+        assert verdicts[0].robustness == pytest.approx(2.0)
+
+    def test_violated_property(self):
+        verdicts = check_trace(frames([1.0, 9.0]), {"slow": "G (speed <= 5)"})
+        assert not verdicts[0].satisfied
+        assert verdicts[0].robustness == pytest.approx(-4.0)
+
+    def test_multiple_properties_in_order(self):
+        verdicts = check_trace(
+            frames([1.0, 2.0]),
+            {"a": "G (speed <= 5)", "b": "F (speed >= 2)"},
+        )
+        assert [v.name for v in verdicts] == ["a", "b"]
+
+    def test_end_to_end_with_real_run(self):
+        from repro.env import TraceRecorder
+        from repro.experiments import build_controller
+        from repro.sim import ScenarioType, build_scenario
+
+        controller = build_controller(build_scenario(ScenarioType.NOMINAL, 0))
+        recorder = TraceRecorder.attach(controller)
+        controller.run()
+        verdicts = check_trace(
+            recorder.frames,
+            {
+                "never catastrophic": "G (min_separation >= 0.1)",
+                "eventually crosses": "F (ego_s >= 70)",
+            },
+        )
+        assert all(v.satisfied for v in verdicts)
+
+
+class TestSummarize:
+    def test_summary_counts(self):
+        verdicts = [
+            PropertyVerdict("ok", "G (x >= 0)", 1.0),
+            PropertyVerdict("bad", "G (x >= 9)", -2.0),
+        ]
+        text = summarize(verdicts)
+        assert "1/2 properties satisfied" in text
+        assert "VIOLATED" in text and "SAT" in text

@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    DuraCPSError,
+    EnvironmentInterfaceError,
+    RoleExecutionError,
+    SchedulingError,
+    StateError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_base(self):
+        for exc_type in (
+            ConfigurationError,
+            SchedulingError,
+            RoleExecutionError,
+            EnvironmentInterfaceError,
+            StateError,
+        ):
+            assert issubclass(exc_type, DuraCPSError)
+
+    def test_scheduling_is_configuration(self):
+        # A broken graph is a configuration problem; one except clause
+        # should catch both.
+        assert issubclass(SchedulingError, ConfigurationError)
+
+    def test_single_clause_catches_framework_errors(self):
+        with pytest.raises(DuraCPSError):
+            raise StateError("missing key")
+
+    def test_programming_errors_not_wrapped(self):
+        assert not issubclass(TypeError, DuraCPSError)
+
+
+class TestRoleExecutionError:
+    def test_carries_role_and_cause(self):
+        cause = ValueError("inner")
+        error = RoleExecutionError("SafetyMonitor", cause)
+        assert error.role_name == "SafetyMonitor"
+        assert error.cause is cause
+        assert "SafetyMonitor" in str(error)
+        assert "inner" in str(error)

@@ -1,0 +1,105 @@
+"""Tests for the DependabilityMetrics collector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DependabilityMetrics
+
+
+class TestViolations:
+    def test_counts_by_category(self):
+        metrics = DependabilityMetrics()
+        metrics.record_violation("safety", "Monitor", 1, 0.1)
+        metrics.record_violation("safety", "Monitor", 2, 0.2)
+        metrics.record_violation("security", "Assessor", 3, 0.3)
+        assert metrics.violation_counts == {"safety": 2, "security": 1}
+        assert metrics.count("violations.safety") == 2
+
+    def test_violations_of_filters(self):
+        metrics = DependabilityMetrics()
+        metrics.record_violation("safety", "M", 1, 0.1, detail="d1")
+        metrics.record_violation("performance", "P", 1, 0.1)
+        safety = metrics.violations_of("safety")
+        assert len(safety) == 1
+        assert safety[0].detail == "d1"
+
+
+class TestSeries:
+    def test_series_round_trip(self):
+        metrics = DependabilityMetrics()
+        metrics.record_series("speed", 0.1, 5.0)
+        metrics.record_series("speed", 0.2, 7.0)
+        assert metrics.series("speed") == [(0.1, 5.0), (0.2, 7.0)]
+        assert metrics.series_values("speed") == [5.0, 7.0]
+
+    def test_summary_statistics(self):
+        metrics = DependabilityMetrics()
+        for t, v in enumerate([1.0, 3.0, 2.0]):
+            metrics.record_series("x", float(t), v)
+        summary = metrics.series_summary("x")
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["max"] == 3.0
+        assert summary["min"] == 1.0
+        assert summary["last"] == 2.0
+
+    def test_empty_series_summary(self):
+        assert DependabilityMetrics().series_summary("nope") == {}
+
+    def test_scores_namespace(self):
+        metrics = DependabilityMetrics()
+        metrics.record_score("margin", 0.1, 1.5)
+        assert metrics.series("score.margin") == [(0.1, 1.5)]
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1))
+    def test_summary_bounds(self, values):
+        metrics = DependabilityMetrics()
+        for i, v in enumerate(values):
+            metrics.record_series("x", float(i), v)
+        summary = metrics.series_summary("x")
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+
+
+class TestRecoveryAndFaults:
+    def test_fault_recording(self):
+        metrics = DependabilityMetrics()
+        metrics.record_fault("ghost_obstacle", 5, 0.5, "detail")
+        assert len(metrics.faults) == 1
+        assert metrics.count("faults.ghost_obstacle") == 1
+
+    def test_recovery_outcome_marking(self):
+        metrics = DependabilityMetrics()
+        metrics.record_recovery(1, 0.1, "emergency_brake")
+        metrics.record_recovery(2, 0.2, "emergency_brake")
+        assert metrics.recovery_activation_count == 2
+        assert all(r.prevented_collision is None for r in metrics.recoveries)
+        metrics.mark_recovery_outcomes(prevented_collision=True)
+        assert all(r.prevented_collision is True for r in metrics.recoveries)
+
+
+class TestTimings:
+    def test_role_timing_aggregation(self):
+        metrics = DependabilityMetrics()
+        metrics.record_role_timing("Generator", 0.002)
+        metrics.record_role_timing("Generator", 0.004)
+        stats = metrics.role_timings()["Generator"]
+        assert stats["calls"] == 2
+        assert stats["total_s"] == pytest.approx(0.006)
+        assert stats["mean_s"] == pytest.approx(0.003)
+
+
+class TestSummary:
+    def test_summary_is_json_friendly(self):
+        import json
+
+        metrics = DependabilityMetrics()
+        metrics.record_violation("safety", "M", 1, 0.1)
+        metrics.record_series("x", 0.1, 1.0)
+        metrics.record_role_timing("M", 0.001)
+        metrics.increment("custom")
+        metrics.iterations_completed = 7
+        summary = metrics.summary()
+        assert json.dumps(summary)  # serializable
+        assert summary["iterations_completed"] == 7
+        assert summary["violation_counts"] == {"safety": 1}
+        assert summary["counters"]["custom"] == 1

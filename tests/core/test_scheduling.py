@@ -1,0 +1,112 @@
+"""Tests for the role dependency graph and execution ordering."""
+
+import pytest
+
+from repro.core import (
+    Always,
+    Never,
+    RoleGraph,
+    RoleResult,
+    SchedulingError,
+)
+from tests.conftest import ScriptedRole
+
+
+def role(name: str) -> ScriptedRole:
+    return ScriptedRole([RoleResult()], name=name)
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self):
+        graph = RoleGraph()
+        graph.add(role("A"))
+        with pytest.raises(SchedulingError):
+            graph.add(role("A"))
+
+    def test_contains_and_len(self):
+        graph = RoleGraph().add(role("A")).add(role("B"))
+        assert "A" in graph and "B" in graph and "C" not in graph
+        assert len(graph) == 2
+
+    def test_get_unknown_role(self):
+        with pytest.raises(SchedulingError, match="unknown role"):
+            RoleGraph().get("missing")
+
+    def test_default_trigger_is_always(self):
+        graph = RoleGraph().add(role("A"))
+        assert isinstance(graph.get("A").trigger, Always)
+
+    def test_custom_trigger_kept(self):
+        graph = RoleGraph().add(role("A"), trigger=Never())
+        assert isinstance(graph.get("A").trigger, Never)
+
+
+class TestOrdering:
+    def test_registration_order_without_dependencies(self):
+        graph = RoleGraph().add(role("C")).add(role("A")).add(role("B"))
+        assert [s.name for s in graph.execution_order()] == ["C", "A", "B"]
+
+    def test_dependencies_respected(self):
+        graph = RoleGraph()
+        graph.add(role("monitor"), after=["generator"])
+        graph.add(role("generator"))
+        order = [s.name for s in graph.execution_order()]
+        assert order.index("generator") < order.index("monitor")
+
+    def test_diamond_dependency(self):
+        graph = RoleGraph()
+        graph.add(role("A"))
+        graph.add(role("B"), after=["A"])
+        graph.add(role("C"), after=["A"])
+        graph.add(role("D"), after=["B", "C"])
+        order = [s.name for s in graph.execution_order()]
+        assert order[0] == "A" and order[-1] == "D"
+        assert set(order[1:3]) == {"B", "C"}
+
+    def test_unknown_dependency(self):
+        graph = RoleGraph().add(role("A"), after=["ghost"])
+        with pytest.raises(SchedulingError, match="unknown role"):
+            graph.execution_order()
+
+    def test_cycle_detected(self):
+        graph = RoleGraph()
+        graph.add(role("A"), after=["B"])
+        graph.add(role("B"), after=["A"])
+        with pytest.raises(SchedulingError, match="cycle"):
+            graph.execution_order()
+
+    def test_self_cycle_detected(self):
+        graph = RoleGraph().add(role("A"), after=["A"])
+        with pytest.raises(SchedulingError, match="cycle"):
+            graph.execution_order()
+
+    def test_order_is_deterministic(self):
+        def build():
+            graph = RoleGraph()
+            for name in ("X", "Y", "Z"):
+                graph.add(role(name))
+            graph.add(role("W"), after=["X", "Z"])
+            return [s.name for s in graph.execution_order()]
+
+        assert build() == build()
+
+
+class TestSequential:
+    def test_sequential_builds_chain(self):
+        roles = [role("A"), role("B"), role("C")]
+        graph = RoleGraph.sequential(roles)
+        order = [s.name for s in graph.execution_order()]
+        assert order == ["A", "B", "C"]
+        assert graph.get("B").after == ["A"]
+        assert graph.get("C").after == ["B"]
+
+    def test_sequential_with_triggers(self):
+        trigger = Never()
+        graph = RoleGraph.sequential([role("A"), role("B")], triggers={"B": trigger})
+        assert graph.get("B").trigger is trigger
+        assert isinstance(graph.get("A").trigger, Always)
+
+    def test_roles_property_registration_order(self):
+        roles = [role("B"), role("A")]
+        graph = RoleGraph.sequential(roles)
+        assert [r.name for r in graph.roles] == ["B", "A"]

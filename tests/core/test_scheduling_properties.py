@@ -1,0 +1,56 @@
+"""Property-based tests for role scheduling over random DAGs."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import RoleGraph, RoleResult
+from tests.conftest import ScriptedRole
+
+
+@st.composite
+def random_dags(draw):
+    """A random DAG as (node count, edge set) with edges j -> i for j < i.
+
+    Orienting every edge from a lower to a higher node index guarantees
+    acyclicity by construction.
+    """
+    n = draw(st.integers(min_value=1, max_value=10))
+    edges = set()
+    for i in range(n):
+        # Each node may depend on any subset of earlier nodes.
+        parents = draw(
+            st.sets(st.integers(min_value=0, max_value=max(0, i - 1)), max_size=3)
+        ) if i > 0 else set()
+        for p in parents:
+            edges.add((p, i))
+    return n, edges
+
+
+@given(random_dags())
+def test_topological_order_respects_every_edge(dag):
+    n, edges = dag
+    graph = RoleGraph()
+    names = [f"r{i}" for i in range(n)]
+    for i, name in enumerate(names):
+        after = [f"r{p}" for p, child in edges if child == i]
+        graph.add(ScriptedRole([RoleResult()], name=name), after=after)
+
+    order = [s.name for s in graph.execution_order()]
+    assert sorted(order) == sorted(names)  # everyone scheduled exactly once
+    position = {name: idx for idx, name in enumerate(order)}
+    for parent, child in edges:
+        assert position[f"r{parent}"] < position[f"r{child}"]
+
+
+@given(random_dags())
+def test_order_is_deterministic_across_builds(dag):
+    n, edges = dag
+
+    def build():
+        graph = RoleGraph()
+        for i in range(n):
+            after = [f"r{p}" for p, child in edges if child == i]
+            graph.add(ScriptedRole([RoleResult()], name=f"r{i}"), after=after)
+        return [s.name for s in graph.execution_order()]
+
+    assert build() == build()

@@ -1,0 +1,112 @@
+"""Tests for trigger predicates and combinators."""
+
+import pytest
+
+from repro.core import (
+    After,
+    Always,
+    DependabilityMetrics,
+    Never,
+    OnVerdict,
+    OnWorldState,
+    Periodic,
+    RoleContext,
+    RoleResult,
+    StateManager,
+    Verdict,
+)
+
+
+def context(iteration=0, time=0.0, state=None):
+    return RoleContext(
+        state=state or StateManager(),
+        metrics=DependabilityMetrics(),
+        iteration=iteration,
+        time=time,
+    )
+
+
+class TestBasicTriggers:
+    def test_always(self):
+        assert Always().should_run(context())
+
+    def test_never(self):
+        assert not Never().should_run(context())
+
+    def test_periodic(self):
+        trigger = Periodic(every=3)
+        fired = [i for i in range(9) if trigger.should_run(context(iteration=i))]
+        assert fired == [0, 3, 6]
+
+    def test_periodic_with_offset(self):
+        trigger = Periodic(every=3, offset=1)
+        fired = [i for i in range(9) if trigger.should_run(context(iteration=i))]
+        assert fired == [1, 4, 7]
+
+    def test_periodic_invalid(self):
+        with pytest.raises(ValueError):
+            Periodic(every=0)
+
+    def test_after(self):
+        trigger = After(2.0)
+        assert not trigger.should_run(context(time=1.9))
+        assert trigger.should_run(context(time=2.0))
+
+
+class TestOnVerdict:
+    def _state_with(self, verdict):
+        state = StateManager()
+        state.begin_iteration(0, 0.0)
+        state.record_output(RoleResult(role_name="Monitor", verdict=verdict))
+        return state
+
+    def test_fires_on_matching_verdict(self):
+        trigger = OnVerdict("Monitor", (Verdict.FAIL,))
+        assert trigger.should_run(context(state=self._state_with(Verdict.FAIL)))
+
+    def test_silent_on_other_verdict(self):
+        trigger = OnVerdict("Monitor", (Verdict.FAIL,))
+        assert not trigger.should_run(context(state=self._state_with(Verdict.PASS)))
+
+    def test_silent_when_role_absent(self):
+        trigger = OnVerdict("Monitor")
+        state = StateManager()
+        state.begin_iteration(0, 0.0)
+        assert not trigger.should_run(context(state=state))
+
+    def test_multiple_verdicts(self):
+        trigger = OnVerdict("Monitor", (Verdict.FAIL, Verdict.WARNING))
+        assert trigger.should_run(context(state=self._state_with(Verdict.WARNING)))
+
+
+class TestOnWorldState:
+    def test_predicate_receives_context(self):
+        state = StateManager()
+        state.update_world_state({"speed": 7.0})
+        trigger = OnWorldState(lambda ctx: ctx.state.world("speed", 0) > 5)
+        assert trigger.should_run(context(state=state))
+
+    def test_description_defaults_to_name(self):
+        def fast(ctx):
+            return True
+
+        assert OnWorldState(fast).description == "fast"
+
+
+class TestCombinators:
+    def test_and(self):
+        assert (Always() & Always()).should_run(context())
+        assert not (Always() & Never()).should_run(context())
+
+    def test_or(self):
+        assert (Never() | Always()).should_run(context())
+        assert not (Never() | Never()).should_run(context())
+
+    def test_invert(self):
+        assert (~Never()).should_run(context())
+        assert not (~Always()).should_run(context())
+
+    def test_composition(self):
+        trigger = (After(1.0) & Periodic(every=2)) | Never()
+        assert trigger.should_run(context(iteration=2, time=1.5))
+        assert not trigger.should_run(context(iteration=1, time=1.5))

@@ -1,0 +1,165 @@
+"""Tests for the IntersectionSimInterface (CarlaInterface analog)."""
+
+import math
+
+import pytest
+
+from repro.env import IntersectionSimInterface
+from repro.sim import Maneuver, ScenarioType, build_scenario
+
+
+def quiet(scenario=ScenarioType.NOMINAL, seed=0):
+    interface = IntersectionSimInterface(
+        build_scenario(scenario, seed), position_sigma=0.0, velocity_sigma=0.0
+    )
+    interface.reset()
+    return interface
+
+
+class TestObserve:
+    REQUIRED_KEYS = {
+        "perception",
+        "ego_route",
+        "ego_s",
+        "ego_speed",
+        "ego_acceleration",
+        "ego_jerk",
+        "min_separation",
+        "object_count",
+        "in_intersection",
+        "ego_cleared",
+        "clearance_time",
+        "time",
+    }
+
+    def test_world_state_contract(self):
+        state = quiet().observe()
+        assert self.REQUIRED_KEYS <= set(state)
+
+    def test_numeric_signals_are_numeric(self):
+        state = quiet().observe()
+        for key in ("ego_s", "ego_speed", "min_separation", "time"):
+            assert isinstance(state[key], float)
+
+    def test_min_separation_is_footprint_gap(self):
+        interface = quiet(ScenarioType.CONGESTED)
+        for _ in range(40):
+            interface.apply_action(Maneuver.PROCEED)
+            interface.advance()
+        state = interface.observe()
+        assert 0.0 <= state["min_separation"] < 100.0
+
+    def test_measurement_noise_perturbs_objects(self):
+        clean = IntersectionSimInterface(
+            build_scenario(ScenarioType.CONGESTED, 0), position_sigma=0.0, velocity_sigma=0.0
+        )
+        noisy = IntersectionSimInterface(
+            build_scenario(ScenarioType.CONGESTED, 0), position_sigma=1.0, velocity_sigma=0.5
+        )
+        for iface in (clean, noisy):
+            iface.reset()
+            for _ in range(30):
+                iface.apply_action(Maneuver.PROCEED)
+                iface.advance()
+        a = clean.observe()["perception"]
+        b = noisy.observe()["perception"]
+        assert len(a.objects) == len(b.objects)
+        if a.objects:
+            deltas = [
+                x.position.distance_to(y.position) for x, y in zip(a.objects, b.objects)
+            ]
+            assert max(deltas) > 0.0
+
+    def test_noise_is_seeded(self):
+        a = IntersectionSimInterface(build_scenario(ScenarioType.CONGESTED, 3))
+        b = IntersectionSimInterface(build_scenario(ScenarioType.CONGESTED, 3))
+        for iface in (a, b):
+            iface.reset()
+            for _ in range(20):
+                iface.apply_action(Maneuver.PROCEED)
+                iface.advance()
+        pa = a.observe()["perception"]
+        pb = b.observe()["perception"]
+        for x, y in zip(pa.objects, pb.objects):
+            assert x.position == y.position
+
+
+class TestApplyAction:
+    def test_none_coasts(self):
+        interface = quiet()
+        interface.apply_action(None)
+        assert interface.world.ego.acceleration == 0.0
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            quiet().apply_action("proceed")
+
+    def test_jerk_limit_ramps_acceleration(self):
+        interface = quiet()
+        interface.apply_action(Maneuver.EMERGENCY_BRAKE)
+        first = interface.world.ego.acceleration
+        # One tick cannot reach -8 m/s^2 through the emergency jerk limit.
+        assert first > -8.0
+        assert first <= -IntersectionSimInterface.EMERGENCY_JERK_LIMIT * 0.1 + 1e-9
+
+    def test_emergency_ramp_reaches_full_braking(self):
+        interface = quiet()
+        for _ in range(10):
+            interface.apply_action(Maneuver.EMERGENCY_BRAKE)
+            interface.advance()
+        assert interface.world.ego.acceleration == pytest.approx(-8.0, abs=0.2)
+
+    def test_blocking_pedestrian_shortens_stop(self):
+        interface = quiet(ScenarioType.PEDESTRIAN, seed=0)
+        # Drive until the pedestrian is on the corridor, then WAIT.
+        for _ in range(30):
+            interface.apply_action(Maneuver.PROCEED)
+            interface.advance()
+        interface.observe()
+        stop_s = interface._blocking_stop_s(interface.world.ego.route, interface.world.ego.s)
+        # The helper yields a stop point only when something blocks;
+        # for pedestrians it must be before the crosswalk when they cross.
+        if stop_s is not None:
+            assert stop_s > interface.world.ego.s
+
+
+class TestLifecycle:
+    def test_reset_restores_initial_state(self):
+        interface = quiet()
+        for _ in range(20):
+            interface.apply_action(Maneuver.PROCEED)
+            interface.advance()
+        t_before = interface.time
+        interface.reset()
+        assert interface.time == 0.0
+        assert t_before > 0.0
+        assert interface.world.ego.s == pytest.approx(20.0)
+
+    def test_done_after_clearance(self):
+        interface = quiet()
+        for _ in range(400):
+            if interface.done:
+                break
+            interface.apply_action(Maneuver.PROCEED)
+            interface.advance()
+        assert interface.done
+        info = interface.result_info()
+        assert info["clearance_time"] is not None
+        assert info["collision"] is False
+        assert info["scenario"] == "nominal"
+        assert math.isfinite(info["min_true_gap"]) or info["min_true_gap"] == math.inf
+
+    def test_result_info_keys(self):
+        info = quiet().result_info()
+        assert {
+            "scenario",
+            "seed",
+            "collisions",
+            "collision",
+            "clearance_time",
+            "gridlocked",
+            "timed_out",
+            "final_time",
+            "last_maneuver",
+            "min_true_gap",
+        } <= set(info)

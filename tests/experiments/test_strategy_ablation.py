@@ -1,0 +1,30 @@
+"""Tests for the recovery-strategy campaign option and ablation."""
+
+import pytest
+
+from repro.experiments import CampaignOptions, build_controller, run_once
+from repro.sim import ScenarioType, build_scenario
+
+
+class TestRecoveryStrategyOption:
+    def test_replan_strategy_wires_replan_role(self):
+        controller = build_controller(
+            build_scenario(ScenarioType.NOMINAL, 0),
+            CampaignOptions(recovery_strategy="replan"),
+        )
+        role = controller.graph.get("RecoveryPlanner").role
+        assert type(role).__name__ == "ReplanRecovery"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="recovery strategy"):
+            build_controller(
+                build_scenario(ScenarioType.NOMINAL, 0),
+                CampaignOptions(recovery_strategy="teleport"),
+            )
+
+    def test_replan_runs_end_to_end(self):
+        outcome = run_once(
+            ScenarioType.GHOST_ATTACK, 0, CampaignOptions(recovery_strategy="replan")
+        )
+        assert outcome.iterations > 10
+        assert outcome.recovery_activations >= 0

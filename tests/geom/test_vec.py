@@ -1,0 +1,125 @@
+"""Unit and property tests for the Vec2 value type."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geom import Vec2, angle_difference
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+class TestAlgebra:
+    def test_addition_and_subtraction(self):
+        assert Vec2(1, 2) + Vec2(3, -1) == Vec2(4, 1)
+        assert Vec2(1, 2) - Vec2(3, -1) == Vec2(-2, 3)
+
+    def test_scalar_multiplication_commutes(self):
+        assert 2 * Vec2(1.5, -2.0) == Vec2(1.5, -2.0) * 2 == Vec2(3.0, -4.0)
+
+    def test_division(self):
+        assert Vec2(4, 6) / 2 == Vec2(2, 3)
+
+    def test_negation(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_unpacking_and_indexing(self):
+        x, y = Vec2(3, 4)
+        assert (x, y) == (3, 4)
+        assert Vec2(3, 4)[0] == 3 and Vec2(3, 4)[1] == 4
+
+    def test_as_tuple(self):
+        assert Vec2(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestNormsAndProducts:
+    def test_norm_is_euclidean(self):
+        assert Vec2(3, 4).norm() == pytest.approx(5.0)
+        assert abs(Vec2(3, 4)) == pytest.approx(5.0)
+
+    def test_norm_sq_avoids_sqrt(self):
+        assert Vec2(3, 4).norm_sq() == pytest.approx(25.0)
+
+    def test_dot_orthogonal(self):
+        assert Vec2(1, 0).dot(Vec2(0, 5)) == 0.0
+
+    def test_cross_sign_is_orientation(self):
+        assert Vec2(1, 0).cross(Vec2(0, 1)) > 0  # CCW
+        assert Vec2(0, 1).cross(Vec2(1, 0)) < 0  # CW
+
+    def test_normalized_unit_length(self):
+        n = Vec2(3, 4).normalized()
+        assert n.norm() == pytest.approx(1.0)
+        assert n.x == pytest.approx(0.6)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2.zero().normalized()
+
+
+class TestGeometry:
+    def test_from_polar_round_trip(self):
+        v = Vec2.from_polar(2.0, math.pi / 3)
+        assert v.norm() == pytest.approx(2.0)
+        assert v.angle() == pytest.approx(math.pi / 3)
+
+    def test_rotation_by_quarter_turn(self):
+        assert Vec2(1, 0).rotated(math.pi / 2).is_close(Vec2(0, 1), tol=1e-12)
+
+    def test_perpendicular_is_ccw_quarter_turn(self):
+        assert Vec2(1, 0).perpendicular() == Vec2(0, 1)
+
+    def test_projection_onto_axis(self):
+        p = Vec2(3, 4).projected_onto(Vec2(1, 0))
+        assert p == Vec2(3, 0)
+
+    def test_projection_onto_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(1, 1).projected_onto(Vec2.zero())
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = Vec2(0, 0), Vec2(2, 4)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(1, 2)
+
+    def test_distance_to(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == pytest.approx(5.0)
+
+
+class TestProperties:
+    @given(finite, finite, finite, finite)
+    def test_addition_commutes(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert (a + b).is_close(b + a)
+
+    @given(finite, finite)
+    def test_rotation_preserves_norm(self, x, y):
+        v = Vec2(x, y)
+        assert v.rotated(1.234).norm() == pytest.approx(v.norm(), rel=1e-9, abs=1e-6)
+
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+    @given(angles, angles)
+    def test_angle_difference_in_range(self, a, b):
+        d = angle_difference(a, b)
+        assert -math.pi <= d <= math.pi
+
+    @given(angles, angles)
+    def test_angle_difference_consistent(self, a, b):
+        d = angle_difference(a, b)
+        # Rotating b by d lands on a modulo full turns.
+        assert math.isclose(
+            math.cos(b + d), math.cos(a), abs_tol=1e-9
+        ) and math.isclose(math.sin(b + d), math.sin(a), abs_tol=1e-9)
+
+    @given(finite, finite)
+    def test_dot_with_perpendicular_is_zero(self, x, y):
+        v = Vec2(x, y)
+        assert v.dot(v.perpendicular()) == pytest.approx(0.0, abs=1e-3)

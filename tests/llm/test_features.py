@@ -1,0 +1,199 @@
+"""Tests for the planner's tactical feature extraction."""
+
+import math
+
+import pytest
+
+from repro.geom import Vec2
+from repro.llm import PlannerObservation, observe
+from repro.sim import (
+    Approach,
+    IntersectionMap,
+    Movement,
+    ObjectKind,
+    PerceivedObject,
+    PerceptionSnapshot,
+)
+
+_MAP = IntersectionMap()
+_ROUTE = _MAP.route(Approach.SOUTH, Movement.STRAIGHT)
+
+
+def snapshot(ego_s=40.0, ego_speed=7.0, objects=()):
+    position = _ROUTE.point_at(ego_s)
+    heading = _ROUTE.heading_at(ego_s)
+    return PerceptionSnapshot(
+        time=0.0,
+        ego_position=position,
+        ego_velocity=Vec2.unit(heading) * ego_speed,
+        ego_heading=heading,
+        ego_speed=ego_speed,
+        objects=list(objects),
+    )
+
+
+def vehicle(x, y, vx, vy, object_id=1):
+    return PerceivedObject(
+        object_id=object_id,
+        kind=ObjectKind.VEHICLE,
+        position=Vec2(x, y),
+        velocity=Vec2(vx, vy),
+        heading=Vec2(vx, vy).angle() if (vx, vy) != (0, 0) else 0.0,
+        length=4.5,
+        width=2.0,
+        source_id=object_id,
+    )
+
+
+def pedestrian(x, y, vx=0.0, vy=0.0, object_id=1001):
+    return PerceivedObject(
+        object_id=object_id,
+        kind=ObjectKind.PEDESTRIAN,
+        position=Vec2(x, y),
+        velocity=Vec2(vx, vy),
+        heading=0.0,
+        length=0.7,
+        width=0.7,
+        source_id=object_id,
+    )
+
+
+class TestBasicObservation:
+    def test_empty_scene(self):
+        obs = observe(snapshot(), _ROUTE, 40.0)
+        assert obs.threats == []
+        assert obs.object_count == 0
+        assert math.isinf(obs.obstacle_ahead_distance)
+        assert not obs.in_intersection
+
+    def test_positional_flags(self):
+        mid_box = (_ROUTE.entry_s + _ROUTE.exit_s) / 2
+        obs = observe(snapshot(ego_s=mid_box), _ROUTE, mid_box)
+        assert obs.in_intersection
+        past = observe(snapshot(ego_s=_ROUTE.exit_s + 5), _ROUTE, _ROUTE.exit_s + 5)
+        assert past.past_intersection
+
+    def test_distance_to_entry(self):
+        obs = observe(snapshot(ego_s=40.0), _ROUTE, 40.0)
+        assert obs.distance_to_entry == pytest.approx(_ROUTE.entry_s - 40.0)
+
+
+class TestVehicleThreats:
+    def test_collision_course_is_severe(self):
+        # Crossing vehicle timed to meet the ego at the conflict point.
+        # Ego at s=40 (y=-27), 7 m/s: reaches y=-1.75 at ~3.6 s.
+        # Vehicle from east on y=-1.75 heading west at 7 m/s placed to
+        # arrive simultaneously: x = 1.75 + 7*3.6 = 27.
+        threat_source = vehicle(27.0, -1.75, -7.0, 0.0)
+        obs = observe(snapshot(ego_speed=7.0, objects=[threat_source]), _ROUTE, 40.0)
+        assert len(obs.threats) == 1
+        assert obs.threats[0].severity > 0.5
+
+    def test_opposite_lane_pass_discounted(self):
+        # Oncoming traffic in the adjacent lane: high closing speed but a
+        # pure lateral offset at CPA.
+        oncoming = vehicle(-1.75, 10.0, 0.0, -7.0)
+        obs = observe(snapshot(objects=[oncoming]), _ROUTE, 40.0)
+        assert obs.max_severity < 0.35
+
+    def test_spoofed_aggressive_oncoming_not_discounted(self):
+        # Same geometry but implausibly fast: the pass discount must drop.
+        slow = observe(snapshot(objects=[vehicle(-1.75, 5.0, 0.0, -7.0)]), _ROUTE, 40.0)
+        fast = observe(snapshot(objects=[vehicle(-1.75, 5.0, 0.0, -16.0)]), _ROUTE, 40.0)
+        assert fast.max_severity > slow.max_severity
+
+    def test_receding_vehicle_ignored(self):
+        receding = vehicle(1.75, -50.0, 0.0, -7.0)  # behind ego, driving away
+        obs = observe(snapshot(objects=[receding]), _ROUTE, 40.0)
+        assert obs.max_severity < 0.35
+
+    def test_box_occupancy_overlap_is_threat(self):
+        # A vehicle that will occupy the box during the ego's window, even
+        # though straight-line CPA threads past.
+        crossing = vehicle(24.0, 1.75, -6.8, 0.0)
+        obs = observe(snapshot(ego_speed=7.0, objects=[crossing]), _ROUTE, 40.0)
+        assert obs.max_severity >= 0.3
+
+    def test_stopped_vehicle_at_line_not_occupancy_threat(self):
+        stopped = vehicle(10.0, 1.75, 0.0, 0.0)
+        obs = observe(snapshot(objects=[stopped]), _ROUTE, 40.0)
+        # May register via CPA if directly conflicting, but not strongly.
+        assert obs.max_severity <= 0.7
+
+    def test_threats_sorted_by_severity(self):
+        near = vehicle(20.0, -1.75, -7.0, 0.0, object_id=1)
+        far = vehicle(45.0, 1.75, -6.0, 0.0, object_id=2)
+        obs = observe(snapshot(objects=[near, far]), _ROUTE, 40.0)
+        severities = [t.severity for t in obs.threats]
+        assert severities == sorted(severities, reverse=True)
+
+
+class TestPedestrianThreats:
+    def test_pedestrian_on_path_ahead(self):
+        ego_s = 45.0
+        ahead = _ROUTE.point_at(ego_s + 10.0)
+        obs = observe(
+            snapshot(ego_s=ego_s, objects=[pedestrian(ahead.x, ahead.y)]), _ROUTE, ego_s
+        )
+        assert obs.threats
+        assert obs.threats[0].on_ego_path
+        assert obs.threats[0].severity >= 0.5
+
+    def test_pedestrian_far_from_path_ignored(self):
+        obs = observe(snapshot(objects=[pedestrian(20.0, -40.0)]), _ROUTE, 40.0)
+        assert obs.threats == []
+
+    def test_walking_pedestrian_predicted_onto_path(self):
+        # Pedestrian left of the lane walking right, will be on the path
+        # when the ego arrives.
+        ego_s = 45.0
+        ahead = _ROUTE.point_at(ego_s + 12.0)
+        walker = pedestrian(ahead.x - 4.0, ahead.y, vx=1.4)
+        obs = observe(snapshot(ego_s=ego_s, ego_speed=6.0, objects=[walker]), _ROUTE, ego_s)
+        assert obs.threats and obs.threats[0].on_ego_path
+
+
+class TestBlockingObstacle:
+    def test_static_blocker_distance(self):
+        ego_s = 40.0
+        blocker_point = _ROUTE.point_at(ego_s + 10.0)
+        blocker = vehicle(blocker_point.x, blocker_point.y, 0.0, 0.0)
+        obs = observe(snapshot(ego_s=ego_s, objects=[blocker]), _ROUTE, ego_s)
+        # The corridor scan reports the first sample within the corridor
+        # radius, so the estimate is conservative by up to the half-width.
+        assert obs.obstacle_ahead_distance == pytest.approx(10.0, abs=2.6)
+
+    def test_moving_vehicle_not_blocking(self):
+        ego_s = 40.0
+        point = _ROUTE.point_at(ego_s + 10.0)
+        mover = vehicle(point.x, point.y, 0.0, 7.0)
+        obs = observe(snapshot(ego_s=ego_s, objects=[mover]), _ROUTE, ego_s)
+        assert math.isinf(obs.obstacle_ahead_distance)
+
+    def test_off_lane_static_not_blocking(self):
+        parked = vehicle(10.0, -30.0, 0.0, 0.0)
+        obs = observe(snapshot(objects=[parked]), _ROUTE, 40.0)
+        assert math.isinf(obs.obstacle_ahead_distance)
+
+
+class TestApproachingCount:
+    def test_counts_vehicles_heading_to_box(self):
+        inbound = vehicle(25.0, 1.75, -7.0, 0.0)
+        outbound = vehicle(25.0, -1.75, 7.0, 0.0)
+        obs = observe(snapshot(objects=[inbound, outbound]), _ROUTE, 40.0)
+        assert obs.approaching_near_count == 1
+
+    def test_pedestrians_not_counted(self):
+        obs = observe(snapshot(objects=[pedestrian(5.0, -10.0, vx=1.0)]), _ROUTE, 40.0)
+        assert obs.approaching_near_count == 0
+
+
+class TestObservationProperties:
+    def test_pressing_threshold(self):
+        obs = PlannerObservation(
+            time=0.0, ego_speed=5.0, distance_to_entry=10.0,
+            in_intersection=False, past_intersection=False,
+        )
+        assert obs.pressing_threats == []
+        assert obs.max_severity == 0.0
+        assert obs.max_closing_speed == 0.0

@@ -1,0 +1,129 @@
+"""Tests for the shared geometric safety checks."""
+
+import math
+
+import pytest
+
+from repro.geom import Vec2
+from repro.roles import braking_can_avoid, predict_min_separation
+from repro.sim import (
+    Approach,
+    IntersectionMap,
+    Maneuver,
+    ManeuverExecutor,
+    Movement,
+    ObjectKind,
+    PerceivedObject,
+    PerceptionSnapshot,
+)
+
+_MAP = IntersectionMap()
+_ROUTE = _MAP.route(Approach.SOUTH, Movement.STRAIGHT)
+
+
+def snapshot(ego_s=40.0, ego_speed=8.0, objects=()):
+    heading = _ROUTE.heading_at(ego_s)
+    return PerceptionSnapshot(
+        time=0.0,
+        ego_position=_ROUTE.point_at(ego_s),
+        ego_velocity=Vec2.unit(heading) * ego_speed,
+        ego_heading=heading,
+        ego_speed=ego_speed,
+        objects=list(objects),
+    )
+
+
+def blocker(ego_s, ahead, speed=0.0):
+    s = ego_s + ahead
+    return PerceivedObject(
+        object_id=5,
+        kind=ObjectKind.VEHICLE,
+        position=_ROUTE.point_at(s),
+        velocity=Vec2.unit(_ROUTE.heading_at(s)) * speed,
+        heading=_ROUTE.heading_at(s),
+        length=4.5,
+        width=2.0,
+        source_id=5,
+    )
+
+
+@pytest.fixture
+def executor():
+    return ManeuverExecutor()
+
+
+class TestPredictMinSeparation:
+    def test_empty_scene_is_infinite(self, executor):
+        prediction = predict_min_separation(
+            snapshot(), _ROUTE, 40.0, Maneuver.PROCEED, executor
+        )
+        assert math.isinf(prediction.min_separation)
+        assert prediction.critical_object is None
+
+    def test_far_objects_report_safe_lower_bound(self, executor):
+        far = blocker(40.0, ahead=45.0)
+        prediction = predict_min_separation(
+            snapshot(objects=[far]), _ROUTE, 40.0, Maneuver.PROCEED, executor
+        )
+        assert prediction.min_separation >= 5.0
+
+    def test_proceed_into_static_blocker_contacts(self, executor):
+        near = blocker(40.0, ahead=10.0)
+        prediction = predict_min_separation(
+            snapshot(objects=[near]), _ROUTE, 40.0, Maneuver.PROCEED, executor,
+            horizon_s=2.5,
+        )
+        assert prediction.min_separation == 0.0
+        assert prediction.critical_object is near
+        assert prediction.time_of_min > 0.0
+
+    def test_braking_rollout_keeps_distance(self, executor):
+        near = blocker(40.0, ahead=15.0)
+        braking = predict_min_separation(
+            snapshot(objects=[near]), _ROUTE, 40.0, Maneuver.EMERGENCY_BRAKE, executor,
+            horizon_s=2.5,
+        )
+        proceeding = predict_min_separation(
+            snapshot(objects=[near]), _ROUTE, 40.0, Maneuver.PROCEED, executor,
+            horizon_s=2.5,
+        )
+        assert braking.min_separation > proceeding.min_separation
+
+    def test_initial_acceleration_reported(self, executor):
+        prediction = predict_min_separation(
+            snapshot(), _ROUTE, 40.0, Maneuver.EMERGENCY_BRAKE, executor
+        )
+        assert prediction.initial_acceleration == pytest.approx(-8.0)
+
+    def test_moving_object_prediction(self, executor):
+        # A leader pulling away: separation should grow, min at t=0.
+        leader = blocker(40.0, ahead=12.0, speed=12.0)
+        prediction = predict_min_separation(
+            snapshot(ego_speed=6.0, objects=[leader]), _ROUTE, 40.0,
+            Maneuver.PROCEED, executor,
+        )
+        assert prediction.time_of_min == pytest.approx(0.0)
+
+    def test_explicit_object_list_overrides_snapshot(self, executor):
+        near = blocker(40.0, ahead=8.0)
+        prediction = predict_min_separation(
+            snapshot(objects=[near]), _ROUTE, 40.0, Maneuver.PROCEED, executor,
+            objects=[],
+        )
+        assert math.isinf(prediction.min_separation)
+
+    def test_invalid_horizon(self, executor):
+        with pytest.raises(ValueError):
+            predict_min_separation(
+                snapshot(), _ROUTE, 40.0, Maneuver.PROCEED, executor, horizon_s=0.0
+            )
+
+
+class TestBrakingCanAvoid:
+    def test_avoidable_when_far(self, executor):
+        scene = snapshot(objects=[blocker(40.0, ahead=25.0)])
+        assert braking_can_avoid(scene, _ROUTE, 40.0, executor, unsafe_distance=1.0)
+
+    def test_unavoidable_when_on_top(self, executor):
+        scene = snapshot(ego_speed=10.0, objects=[blocker(40.0, ahead=5.0)])
+        assert not braking_can_avoid(scene, _ROUTE, 40.0, executor, unsafe_distance=1.0)

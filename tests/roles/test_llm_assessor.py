@@ -1,0 +1,151 @@
+"""Tests for the LLM-specific assessment monitors (paper SS VI.5)."""
+
+import pytest
+
+from repro.core import RoleResult, Verdict
+from repro.geom import Vec2
+from repro.roles import CrossChannelConsistencyMonitor, ExplanationGroundingMonitor
+from repro.sim import Maneuver, ObjectKind, PerceivedObject
+
+from .conftest import advance, make_context
+
+
+def _generator_narrative(text: str) -> RoleResult:
+    return RoleResult(role_name="Generator", verdict=Verdict.INFO, narrative=text)
+
+
+def _ghost(snapshot, route, ego_s, object_id=-7):
+    ghost = PerceivedObject(
+        object_id=object_id,
+        kind=ObjectKind.VEHICLE,
+        position=route.point_at(ego_s + 10.0),
+        velocity=Vec2.zero(),
+        heading=route.heading_at(ego_s + 10.0),
+        length=4.5,
+        width=2.0,
+        source_id=None,
+    )
+    snapshot.objects.append(ghost)
+    return ghost
+
+
+class TestExplanationGrounding:
+    def test_grounded_explanation_passes(self, quiet_interface):
+        advance(quiet_interface, 20, Maneuver.PROCEED)
+        context = make_context(quiet_interface)
+        snapshot = context.state.world("perception")
+        if not snapshot.objects:
+            pytest.skip("no objects perceived at this tick")
+        real_id = snapshot.objects[0].object_id
+        context.state.record_output(
+            _generator_narrative(f"vehicle #{real_id} has priority, so I yield.")
+        )
+        monitor = ExplanationGroundingMonitor()
+        result = monitor.execute(context)
+        assert result.verdict is Verdict.PASS
+        assert result.scores["cited"] == 1.0
+
+    def test_hallucinated_reference_fails(self, quiet_interface):
+        context = make_context(
+            quiet_interface,
+            generator_output=_generator_narrative(
+                "vehicle #424242 is closing fast, so I wait."
+            ),
+        )
+        monitor = ExplanationGroundingMonitor()
+        result = monitor.execute(context)
+        assert result.verdict is Verdict.FAIL
+        assert result.data["ungrounded_ids"] == [424242]
+        assert context.metrics.count("llm.hallucinated_references") == 1
+        assert monitor.ungrounded_references == 1
+
+    def test_explanation_without_references_passes(self, quiet_interface):
+        context = make_context(
+            quiet_interface,
+            generator_output=_generator_narrative("The road is clear, so I proceed."),
+        )
+        result = ExplanationGroundingMonitor().execute(context)
+        assert result.verdict is Verdict.PASS
+        assert result.scores["cited"] == 0.0
+
+    def test_missing_generator_output_passes(self, quiet_interface):
+        result = ExplanationGroundingMonitor().execute(make_context(quiet_interface))
+        assert result.verdict is Verdict.PASS
+        assert result.data["checked"] is False
+
+    def test_reset(self, quiet_interface):
+        monitor = ExplanationGroundingMonitor()
+        context = make_context(
+            quiet_interface, generator_output=_generator_narrative("vehicle #9999 ahead")
+        )
+        monitor.execute(context)
+        monitor.reset()
+        assert monitor.ungrounded_references == 0
+
+
+class TestCrossChannelConsistency:
+    def test_clean_perception_passes(self, quiet_interface):
+        advance(quiet_interface, 10, Maneuver.PROCEED)
+        monitor = CrossChannelConsistencyMonitor(debounce_ticks=1)
+        result = monitor.execute(make_context(quiet_interface))
+        assert result.verdict is Verdict.PASS
+        assert result.scores["discrepancy"] == 0.0
+
+    def test_ghost_injection_detected_after_debounce(self, quiet_interface):
+        monitor = CrossChannelConsistencyMonitor(debounce_ticks=2)
+        verdicts = []
+        for _ in range(3):
+            context = make_context(quiet_interface)
+            snapshot = context.state.world("perception")
+            _ghost(snapshot, context.state.world("ego_route"), context.state.world("ego_s"))
+            verdicts.append(monitor.execute(context).verdict)
+        assert verdicts[0] is Verdict.WARNING  # first mismatch: debouncing
+        assert Verdict.FAIL in verdicts[1:]
+
+    def test_streak_resets_on_clean_tick(self, quiet_interface):
+        monitor = CrossChannelConsistencyMonitor(debounce_ticks=2)
+        dirty = make_context(quiet_interface)
+        _ghost(
+            dirty.state.world("perception"),
+            dirty.state.world("ego_route"),
+            dirty.state.world("ego_s"),
+        )
+        assert monitor.execute(dirty).verdict is Verdict.WARNING
+        clean = make_context(quiet_interface)
+        assert monitor.execute(clean).verdict is Verdict.PASS
+        assert monitor.execute(dirty).verdict is Verdict.WARNING  # restarted
+
+    def test_detects_ghost_inside_full_campaign_stack(self):
+        """Wire the monitor into the ghost-attack stack: it must fire."""
+        from repro.core import OrchestrationController, OrchestratorConfig, RoleGraph
+        from repro.env import IntersectionSimInterface
+        from repro.roles import (
+            FaultInjectorRole,
+            FaultPipeline,
+            LLMGeneratorRole,
+            ScriptedSecurityAssessor,
+        )
+        from repro.sim import ScenarioType, build_scenario
+
+        spec = build_scenario(ScenarioType.GHOST_ATTACK, 0)
+        pipeline = FaultPipeline(seed=0)
+        environment = IntersectionSimInterface(spec, pipeline=pipeline)
+        roles = [
+            LLMGeneratorRole(name="Generator"),
+            ScriptedSecurityAssessor(plan=spec.attack, name="SecurityAssessor"),
+            FaultInjectorRole(pipeline, name="FaultInjector"),
+            CrossChannelConsistencyMonitor(name="CrossChannelMonitor"),
+        ]
+        controller = OrchestrationController(
+            RoleGraph.sequential(roles),
+            environment,
+            OrchestratorConfig(max_iterations=300),
+        )
+        result = controller.run()
+        # The injected ghost produces a security violation via the
+        # cross-channel check (it lives only in the object list).
+        assert result.metrics.violation_counts.get("security", 0) > 0
+
+    def test_debounce_validation(self):
+        with pytest.raises(ValueError):
+            CrossChannelConsistencyMonitor(debounce_ticks=0)

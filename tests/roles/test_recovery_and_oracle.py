@@ -1,0 +1,198 @@
+"""Tests for recovery planners and performance oracles."""
+
+import pytest
+
+from repro.core import DependabilityMetrics, RoleContext, RoleResult, StateManager, Verdict
+from repro.geom import Vec2
+from repro.roles import (
+    EmergencyBrakeRecovery,
+    IntersectionPerformanceOracle,
+    LatencyBudgetOracle,
+    ReplanRecovery,
+)
+from repro.sim import Maneuver, ObjectKind, PerceivedObject
+
+from .conftest import advance, make_context
+
+
+def _monitor_output(verdict: Verdict, narrative: str = "") -> RoleResult:
+    return RoleResult(role_name="SafetyMonitor", verdict=verdict, narrative=narrative)
+
+
+def _block_lane(context, distance_ahead: float = 6.0):
+    snapshot = context.state.world("perception")
+    route = context.state.world("ego_route")
+    ego_s = context.state.world("ego_s")
+    snapshot.objects.append(
+        PerceivedObject(
+            object_id=-9,
+            kind=ObjectKind.VEHICLE,
+            position=route.point_at(ego_s + distance_ahead),
+            velocity=Vec2.zero(),
+            heading=route.heading_at(ego_s + distance_ahead),
+            length=4.5,
+            width=2.0,
+            source_id=None,
+        )
+    )
+
+
+class TestMonitorGatedRecovery:
+    def test_brakes_when_monitor_fails(self, quiet_interface):
+        recovery = EmergencyBrakeRecovery()
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        context = make_context(
+            quiet_interface, generator_output=_monitor_output(Verdict.FAIL, "unsafe")
+        )
+        result = recovery.execute(context)
+        assert result.data["action"] is Maneuver.EMERGENCY_BRAKE
+        assert recovery.activations == 1
+        assert "unsafe" in result.narrative
+
+    def test_passive_when_monitor_passes(self, quiet_interface):
+        recovery = EmergencyBrakeRecovery()
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        context = make_context(quiet_interface, generator_output=_monitor_output(Verdict.PASS))
+        assert recovery.execute(context).data["action"] is None
+
+    def test_no_braking_when_already_stopped(self, quiet_interface):
+        recovery = EmergencyBrakeRecovery()
+        context = make_context(
+            quiet_interface, generator_output=_monitor_output(Verdict.FAIL)
+        )
+        # Freeze the ego: ego starts moving, so stop it directly.
+        quiet_interface.world.ego.speed = 0.0
+        context2 = make_context(
+            quiet_interface, generator_output=_monitor_output(Verdict.FAIL)
+        )
+        assert recovery.execute(context2).data["action"] is None
+
+    def test_missing_monitor_warns(self, quiet_interface):
+        recovery = EmergencyBrakeRecovery(monitor_name="Nonexistent")
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        result = recovery.execute(make_context(quiet_interface))
+        assert result.verdict is Verdict.WARNING
+        assert result.data["action"] is None
+
+    def test_reset_clears_activations(self, quiet_interface):
+        recovery = EmergencyBrakeRecovery()
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        recovery.execute(
+            make_context(quiet_interface, generator_output=_monitor_output(Verdict.FAIL))
+        )
+        recovery.reset()
+        assert recovery.activations == 0
+
+
+class TestGuardianRecovery:
+    def test_guardian_triggers_on_geometry(self, quiet_interface):
+        recovery = EmergencyBrakeRecovery(monitor_name=None, trigger_distance=1.0)
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        context = make_context(quiet_interface)
+        _block_lane(context, distance_ahead=6.0)
+        result = recovery.execute(context)
+        assert result.data["action"] is Maneuver.EMERGENCY_BRAKE
+        assert "predicted" in result.narrative
+
+    def test_guardian_passive_on_clear_road(self, quiet_interface):
+        recovery = EmergencyBrakeRecovery(monitor_name=None)
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        result = recovery.execute(make_context(quiet_interface))
+        assert result.data["action"] is None
+
+
+class TestReplanRecovery:
+    def test_clear_road_no_action(self, quiet_interface):
+        recovery = ReplanRecovery()
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        assert recovery.execute(make_context(quiet_interface)).data["action"] is None
+
+    def test_blocked_road_proposes_softest_sufficient(self, quiet_interface):
+        recovery = ReplanRecovery(trigger_distance=1.0)
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        context = make_context(quiet_interface)
+        _block_lane(context, distance_ahead=10.0)
+        result = recovery.execute(context)
+        # Some stopping maneuver must be proposed — never None here.
+        assert result.data["action"] is not None
+        assert result.data["action"] is not Maneuver.PROCEED
+
+
+class TestPerformanceOracle:
+    def _context(self, quiet_interface, accel=0.0, jerk=0.0, cleared=False, time_override=None):
+        state = StateManager()
+        state.begin_iteration(0, quiet_interface.time)
+        world_state = quiet_interface.observe()
+        world_state["ego_acceleration"] = accel
+        world_state["ego_jerk"] = jerk
+        world_state["ego_cleared"] = cleared
+        state.update_world_state(world_state)
+        return RoleContext(
+            state=state,
+            metrics=DependabilityMetrics(),
+            iteration=0,
+            time=time_override if time_override is not None else quiet_interface.time,
+        )
+
+    def test_comfortable_motion_passes(self, quiet_interface):
+        oracle = IntersectionPerformanceOracle()
+        result = oracle.execute(self._context(quiet_interface, accel=1.0, jerk=5.0))
+        assert result.verdict is Verdict.PASS
+
+    def test_comfort_breach_fails(self, quiet_interface):
+        oracle = IntersectionPerformanceOracle(comfort_accel=3.5)
+        result = oracle.execute(self._context(quiet_interface, accel=-7.0))
+        assert result.verdict is Verdict.FAIL
+        assert result.data["reason"] == "comfort"
+
+    def test_jerk_breach_fails(self, quiet_interface):
+        oracle = IntersectionPerformanceOracle(comfort_jerk=25.0)
+        result = oracle.execute(self._context(quiet_interface, jerk=40.0))
+        assert result.verdict is Verdict.FAIL
+
+    def test_deadline_flagged_once(self, quiet_interface):
+        oracle = IntersectionPerformanceOracle(max_clearance_s=5.0)
+        first = oracle.execute(self._context(quiet_interface, time_override=6.0))
+        assert first.verdict is Verdict.FAIL
+        assert first.data["reason"] == "clearance_deadline"
+        second = oracle.execute(self._context(quiet_interface, time_override=6.1))
+        assert second.verdict is Verdict.PASS  # only flagged once
+
+    def test_peaks_tracked(self, quiet_interface):
+        oracle = IntersectionPerformanceOracle()
+        oracle.execute(self._context(quiet_interface, accel=2.0, jerk=10.0))
+        oracle.execute(self._context(quiet_interface, accel=-3.0, jerk=-20.0))
+        assert oracle.max_abs_accel == pytest.approx(3.0)
+        assert oracle.max_abs_jerk == pytest.approx(20.0)
+
+    def test_series_recorded(self, quiet_interface):
+        oracle = IntersectionPerformanceOracle()
+        context = self._context(quiet_interface, accel=1.5)
+        oracle.execute(context)
+        assert context.metrics.series_values("ego_acceleration") == [1.5]
+
+    def test_reset(self, quiet_interface):
+        oracle = IntersectionPerformanceOracle()
+        oracle.execute(self._context(quiet_interface, accel=5.0))
+        oracle.reset()
+        assert oracle.max_abs_accel == 0.0
+        assert oracle.comfort_violations == 0
+
+
+class TestLatencyBudgetOracle:
+    def test_within_budget_passes(self, quiet_interface):
+        oracle = LatencyBudgetOracle(budget_s=10.0)
+        context = make_context(quiet_interface)
+        assert oracle.execute(context).verdict is Verdict.PASS
+
+    def test_over_budget_warns(self, quiet_interface):
+        oracle = LatencyBudgetOracle(budget_s=1e-12)
+        context = make_context(quiet_interface)
+        context.metrics.record_role_timing("Generator", 0.5)
+        result = oracle.execute(context)
+        assert result.verdict is Verdict.WARNING
+        assert "budget" in result.narrative
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            LatencyBudgetOracle(budget_s=0.0)

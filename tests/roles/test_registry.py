@@ -1,0 +1,163 @@
+"""Tests for the config-driven role registry and graph loader."""
+
+import pytest
+
+from repro.core import (
+    After,
+    ConfigurationError,
+    Never,
+    OnVerdict,
+    OrchestrationController,
+    OrchestratorConfig,
+    Periodic,
+    Verdict,
+)
+from repro.env import IntersectionSimInterface
+from repro.roles import DEFAULT_REGISTRY, FaultPipeline, RoleRegistry, build_role_graph
+from repro.sim import ScenarioType, build_scenario
+
+
+class TestRegistry:
+    def test_builtin_roles_registered(self):
+        for name in (
+            "LLMGeneratorRole",
+            "GeometricSafetyMonitor",
+            "ScriptedSecurityAssessor",
+            "FaultInjectorRole",
+            "IntersectionPerformanceOracle",
+            "EmergencyBrakeRecovery",
+        ):
+            assert name in DEFAULT_REGISTRY.names
+
+    def test_create_with_params(self):
+        role = DEFAULT_REGISTRY.create(
+            "GeometricSafetyMonitor", {"unsafe_distance": 2.0, "name": "M"}
+        )
+        assert role.name == "M"
+        assert role.unsafe_distance == 2.0
+
+    def test_unknown_role(self):
+        with pytest.raises(ConfigurationError, match="unknown role"):
+            DEFAULT_REGISTRY.create("NoSuchRole")
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError, match="bad parameters"):
+            DEFAULT_REGISTRY.create("GeometricSafetyMonitor", {"bogus_kwarg": 1})
+
+    def test_fault_injector_requires_pipeline(self):
+        with pytest.raises(ConfigurationError, match="pipeline"):
+            DEFAULT_REGISTRY.create("FaultInjectorRole")
+        role = DEFAULT_REGISTRY.create(
+            "FaultInjectorRole", resources={"pipeline": FaultPipeline(seed=0)}
+        )
+        assert role.name == "FaultInjector"
+
+    def test_custom_registration(self):
+        registry = RoleRegistry()
+        from repro.core import Role, RoleKind, RoleResult
+
+        class MyRole(Role):
+            kind = RoleKind.CUSTOM
+
+            def execute(self, context):
+                return RoleResult()
+
+        registry.register("MyRole", lambda params, resources: MyRole(**params))
+        role = registry.create("MyRole", {"name": "mine"})
+        assert role.name == "mine"
+
+
+class TestGraphLoader:
+    CONFIG = [
+        {"role": "LLMGeneratorRole", "name": "Generator"},
+        {"role": "GeometricSafetyMonitor", "name": "SafetyMonitor"},
+        {"role": "ScriptedSecurityAssessor", "name": "SecurityAssessor"},
+        {"role": "FaultInjectorRole", "name": "FaultInjector"},
+        {"role": "IntersectionPerformanceOracle", "name": "PerformanceOracle"},
+        {"role": "EmergencyBrakeRecovery", "name": "RecoveryPlanner"},
+    ]
+
+    def test_sequential_chain_by_default(self):
+        graph = build_role_graph(
+            self.CONFIG, resources={"pipeline": FaultPipeline(seed=0)}
+        )
+        order = [s.name for s in graph.execution_order()]
+        assert order == [
+            "Generator",
+            "SafetyMonitor",
+            "SecurityAssessor",
+            "FaultInjector",
+            "PerformanceOracle",
+            "RecoveryPlanner",
+        ]
+
+    def test_explicit_after_overrides_chain(self):
+        config = [
+            {"role": "LLMGeneratorRole", "name": "G"},
+            {"role": "GeometricSafetyMonitor", "name": "M1", "after": ["G"]},
+            {"role": "STLSafetyMonitor", "name": "M2", "after": ["G"]},
+        ]
+        graph = build_role_graph(config)
+        assert graph.get("M2").after == ["G"]
+
+    def test_trigger_parsing(self):
+        config = [
+            {"role": "LLMGeneratorRole", "name": "G"},
+            {
+                "role": "GeometricSafetyMonitor",
+                "name": "M",
+                "trigger": {"type": "periodic", "every": 5, "offset": 1},
+            },
+            {
+                "role": "EmergencyBrakeRecovery",
+                "name": "R",
+                "trigger": {
+                    "type": "on_verdict",
+                    "role": "M",
+                    "verdicts": ["fail", "warning"],
+                },
+            },
+            {
+                "role": "LatencyBudgetOracle",
+                "name": "L",
+                "trigger": {"type": "after", "start_time": 2.0},
+            },
+            {
+                "role": "ReplanRecovery",
+                "name": "Off",
+                "trigger": {"type": "never"},
+            },
+        ]
+        graph = build_role_graph(config)
+        assert isinstance(graph.get("M").trigger, Periodic)
+        on_verdict = graph.get("R").trigger
+        assert isinstance(on_verdict, OnVerdict)
+        assert on_verdict.verdicts == (Verdict.FAIL, Verdict.WARNING)
+        assert isinstance(graph.get("L").trigger, After)
+        assert isinstance(graph.get("Off").trigger, Never)
+
+    def test_unknown_trigger_rejected(self):
+        config = [
+            {"role": "LLMGeneratorRole", "trigger": {"type": "sometimes"}},
+        ]
+        with pytest.raises(ConfigurationError, match="unknown trigger"):
+            build_role_graph(config)
+
+    def test_missing_role_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing the 'role' key"):
+            build_role_graph([{"name": "oops"}])
+
+    def test_config_built_stack_runs_end_to_end(self):
+        spec = build_scenario(ScenarioType.GHOST_ATTACK, 0)
+        pipeline = FaultPipeline(seed=0)
+        graph = build_role_graph(
+            self.CONFIG,
+            resources={"pipeline": pipeline, "attack_plan": spec.attack},
+        )
+        environment = IntersectionSimInterface(spec, pipeline=pipeline)
+        controller = OrchestrationController(
+            graph, environment, OrchestratorConfig(max_iterations=250)
+        )
+        result = controller.run()
+        assert result.iterations > 10
+        assert result.metrics.faults  # the configured injector worked

@@ -1,0 +1,146 @@
+"""Tests for the geometric and STL safety monitors."""
+
+import pytest
+
+from repro.core import RoleResult, Verdict
+from repro.geom import Vec2
+from repro.roles import GeometricSafetyMonitor, STLSafetyMonitor
+from repro.sim import Maneuver, ObjectKind, PerceivedObject
+
+from .conftest import advance, make_context
+
+
+def _generator_result(maneuver: Maneuver) -> RoleResult:
+    return RoleResult(role_name="Generator", verdict=Verdict.INFO, data={"action": maneuver})
+
+
+def _inject_blocker(context, distance_ahead: float = 8.0, speed: float = 0.0):
+    """Place a stationary vehicle on the ego lane ahead, in perception."""
+    snapshot = context.state.world("perception")
+    route = context.state.world("ego_route")
+    ego_s = context.state.world("ego_s")
+    s = ego_s + distance_ahead
+    blocker = PerceivedObject(
+        object_id=777,
+        kind=ObjectKind.VEHICLE,
+        position=route.point_at(s),
+        velocity=Vec2.unit(route.heading_at(s)) * speed,
+        heading=route.heading_at(s),
+        length=4.5,
+        width=2.0,
+        source_id=None,
+    )
+    snapshot.objects.append(blocker)
+    return blocker
+
+
+class TestGeometricMonitor:
+    def test_clear_road_passes(self, quiet_interface):
+        monitor = GeometricSafetyMonitor(debounce_ticks=1)
+        context = make_context(quiet_interface, generator_output=_generator_result(Maneuver.PROCEED))
+        result = monitor.execute(context)
+        assert result.verdict in (Verdict.PASS, Verdict.WARNING)
+        assert "min_separation" in result.scores
+
+    def test_proceed_into_blocker_fails(self, quiet_interface):
+        monitor = GeometricSafetyMonitor(debounce_ticks=1)
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        context = make_context(quiet_interface, generator_output=_generator_result(Maneuver.PROCEED))
+        _inject_blocker(context, distance_ahead=8.0)
+        result = monitor.execute(context)
+        assert result.verdict is Verdict.FAIL
+        assert result.data["reason"] == "separation"
+        assert "#777" in result.narrative
+
+    def test_abrupt_braking_at_speed_fails(self, quiet_interface):
+        monitor = GeometricSafetyMonitor(debounce_ticks=1)
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        context = make_context(
+            quiet_interface, generator_output=_generator_result(Maneuver.EMERGENCY_BRAKE)
+        )
+        result = monitor.execute(context)
+        assert result.verdict is Verdict.FAIL
+        assert result.data["reason"] == "abrupt"
+
+    def test_emergency_brake_when_slow_not_abrupt(self, quiet_interface):
+        monitor = GeometricSafetyMonitor(debounce_ticks=1)
+        # Ego starts at ~7 m/s; braking to below the abrupt-speed floor.
+        for _ in range(40):
+            quiet_interface.apply_action(Maneuver.EMERGENCY_BRAKE)
+            quiet_interface.advance()
+        context = make_context(
+            quiet_interface, generator_output=_generator_result(Maneuver.EMERGENCY_BRAKE)
+        )
+        assert quiet_interface.world.ego.speed < 4.0
+        result = monitor.execute(context)
+        assert result.verdict is not Verdict.FAIL
+
+    def test_debounce_swallows_single_blip(self, quiet_interface):
+        monitor = GeometricSafetyMonitor(debounce_ticks=2)
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        context = make_context(quiet_interface, generator_output=_generator_result(Maneuver.PROCEED))
+        _inject_blocker(context, distance_ahead=8.0)
+        first = monitor.execute(context)
+        assert first.verdict is Verdict.WARNING
+        assert first.data["reason"] == "separation_blip"
+        second = monitor.execute(context)
+        assert second.verdict is Verdict.FAIL
+
+    def test_debounce_resets_after_clear_tick(self, quiet_interface):
+        monitor = GeometricSafetyMonitor(debounce_ticks=2)
+        advance(quiet_interface, 5, Maneuver.PROCEED)
+        dangerous = make_context(
+            quiet_interface, generator_output=_generator_result(Maneuver.PROCEED)
+        )
+        _inject_blocker(dangerous, distance_ahead=8.0)
+        clear = make_context(quiet_interface, generator_output=_generator_result(Maneuver.PROCEED))
+        assert monitor.execute(dangerous).verdict is Verdict.WARNING
+        assert monitor.execute(clear).verdict is not Verdict.FAIL
+        assert monitor.execute(dangerous).verdict is Verdict.WARNING  # streak restarted
+
+    def test_missing_generator_defaults_to_proceed(self, quiet_interface):
+        monitor = GeometricSafetyMonitor(debounce_ticks=1)
+        context = make_context(quiet_interface)
+        result = monitor.execute(context)
+        assert result.verdict in (Verdict.PASS, Verdict.WARNING)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            GeometricSafetyMonitor(unsafe_distance=3.0, warning_distance=2.0)
+        with pytest.raises(ValueError):
+            GeometricSafetyMonitor(debounce_ticks=0)
+
+
+class TestSTLMonitor:
+    def test_passes_on_safe_signals(self, quiet_interface):
+        monitor = STLSafetyMonitor(formula="G[0,0.2] (min_separation >= 1.0 | ego_speed <= 0.5)")
+        for _ in range(6):
+            context = make_context(quiet_interface)
+            result = monitor.execute(context)
+            assert result.verdict is not Verdict.FAIL
+            advance(quiet_interface, 1, Maneuver.PROCEED)
+
+    def test_fails_when_property_violated(self, quiet_interface):
+        monitor = STLSafetyMonitor(formula="G[0,0.2] (ego_speed <= 0.5)")
+        advance(quiet_interface, 5, Maneuver.PROCEED)  # ego well above 0.5 m/s
+        verdicts = []
+        for _ in range(6):
+            context = make_context(quiet_interface)
+            verdicts.append(monitor.execute(context).verdict)
+            advance(quiet_interface, 1, Maneuver.PROCEED)
+        assert Verdict.FAIL in verdicts
+
+    def test_missing_signal_warns(self, quiet_interface):
+        monitor = STLSafetyMonitor(formula="G[0,0.2] (nonexistent >= 0)")
+        context = make_context(quiet_interface)
+        result = monitor.execute(context)
+        assert result.verdict is Verdict.WARNING
+        assert "nonexistent" in result.narrative
+
+    def test_reset_restarts_monitoring(self, quiet_interface):
+        monitor = STLSafetyMonitor(formula="G[0,0.1] (ego_speed <= 100)")
+        context = make_context(quiet_interface)
+        monitor.execute(context)
+        monitor.reset()
+        result = monitor.execute(make_context(quiet_interface))
+        assert result.data.get("concluded") is False

@@ -1,0 +1,120 @@
+"""Tests for the maneuver vocabulary and longitudinal executor."""
+
+import pytest
+
+from repro.sim import Approach, LongitudinalLimits, Maneuver, ManeuverExecutor, Movement
+
+
+@pytest.fixture
+def route(intersection_map):
+    return intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+
+
+@pytest.fixture
+def executor():
+    return ManeuverExecutor()
+
+
+class TestSpeedTracking:
+    def test_proceed_accelerates_toward_cruise(self, executor, route):
+        accel = executor.acceleration_for(Maneuver.PROCEED, 4.0, 10.0, route)
+        assert accel > 0.0
+
+    def test_proceed_holds_at_cruise(self, executor, route):
+        accel = executor.acceleration_for(Maneuver.PROCEED, 8.0, 10.0, route)
+        assert accel == pytest.approx(0.0, abs=0.1)
+
+    def test_proceed_slows_when_too_fast(self, executor, route):
+        accel = executor.acceleration_for(Maneuver.PROCEED, 12.0, 10.0, route)
+        assert accel < 0.0
+
+    def test_cautious_target_is_lower(self, executor, route):
+        cautious = executor.acceleration_for(Maneuver.PROCEED_CAUTIOUSLY, 6.0, 10.0, route)
+        assert cautious < 0.0  # 6 > 4 cautious target
+
+    def test_accelerate_exceeds_cruise(self, executor, route):
+        accel = executor.acceleration_for(Maneuver.ACCELERATE, 8.5, 10.0, route)
+        assert accel > 0.0
+
+    def test_acceleration_bounded(self, executor, route):
+        limits = executor.limits
+        for maneuver in Maneuver:
+            for speed in (0.0, 4.0, 8.0, 12.0):
+                accel = executor.acceleration_for(maneuver, speed, 10.0, route)
+                assert -limits.max_deceleration - 1e-9 <= accel <= limits.max_acceleration + 1e-9
+
+
+class TestStopping:
+    def test_wait_brakes_to_stop_line(self, executor, route):
+        # 10 m before the entry at 8 m/s: needs roughly v^2/2d braking.
+        s = route.entry_s - 10.0
+        accel = executor.acceleration_for(Maneuver.WAIT, 8.0, s, route)
+        assert accel == pytest.approx(-(8.0 ** 2) / (2.0 * 9.0), rel=0.05)
+
+    def test_wait_holds_when_stopped(self, executor, route):
+        accel = executor.acceleration_for(Maneuver.WAIT, 0.0, route.entry_s - 5.0, route)
+        assert accel == 0.0
+
+    def test_wait_past_line_brakes_comfortably(self, executor, route):
+        accel = executor.acceleration_for(Maneuver.WAIT, 5.0, route.entry_s + 2.0, route)
+        assert accel == pytest.approx(-executor.limits.comfortable_deceleration)
+
+    def test_emergency_brake_is_max(self, executor, route):
+        accel = executor.acceleration_for(Maneuver.EMERGENCY_BRAKE, 8.0, 10.0, route)
+        assert accel == pytest.approx(-executor.limits.max_deceleration)
+
+    def test_emergency_brake_at_rest_is_zero(self, executor, route):
+        assert executor.acceleration_for(Maneuver.EMERGENCY_BRAKE, 0.0, 10.0, route) == 0.0
+
+    def test_obstacle_stop_overrides_line(self, executor, route):
+        # Obstacle stop point far before the entry line dominates.
+        s = route.entry_s - 30.0
+        free = executor.acceleration_for(Maneuver.WAIT, 8.0, s, route)
+        blocked = executor.acceleration_for(Maneuver.WAIT, 8.0, s, route, stop_s=s + 8.0)
+        assert blocked < free  # stronger braking for the nearer stop
+
+    def test_obstacle_stop_behind_is_ignored(self, executor, route):
+        s = route.entry_s - 10.0
+        ahead = executor.acceleration_for(Maneuver.WAIT, 6.0, s, route)
+        behind = executor.acceleration_for(Maneuver.WAIT, 6.0, s, route, stop_s=s - 5.0)
+        assert behind == pytest.approx(ahead)
+
+
+class TestYield:
+    def test_yield_creeps_at_low_speed(self, executor, route):
+        accel = executor.acceleration_for(Maneuver.YIELD, 1.0, route.entry_s - 40.0, route)
+        assert accel > 0.0  # creep up toward yield speed
+
+    def test_yield_brakes_near_line(self, executor, route):
+        accel = executor.acceleration_for(Maneuver.YIELD, 6.0, route.entry_s - 3.0, route)
+        assert accel < 0.0
+
+
+class TestManeuverEnum:
+    def test_stopping_classification(self):
+        assert Maneuver.WAIT.is_stopping
+        assert Maneuver.EMERGENCY_BRAKE.is_stopping
+        assert not Maneuver.PROCEED.is_stopping
+        assert not Maneuver.YIELD.is_stopping
+
+    def test_custom_limits(self, route):
+        limits = LongitudinalLimits(cruise_speed=5.0)
+        executor = ManeuverExecutor(limits)
+        accel = executor.acceleration_for(Maneuver.PROCEED, 5.0, 10.0, route)
+        assert accel == pytest.approx(0.0, abs=0.1)
+
+
+class TestClosedLoopStopping:
+    def test_wait_stops_before_the_line(self, executor, route):
+        """Integrating WAIT from approach speed must halt before the entry."""
+        from repro.sim import Vehicle
+
+        v = Vehicle(route=route, s=route.entry_s - 30.0, speed=8.0)
+        for _ in range(200):
+            accel = executor.acceleration_for(Maneuver.WAIT, v.speed, v.s, route)
+            v.apply_acceleration(accel)
+            v.step(0.1)
+            if v.speed == 0.0:
+                break
+        assert v.speed == 0.0
+        assert v.s <= route.entry_s + 0.1

@@ -1,0 +1,141 @@
+"""Tests for the intersection map and route geometry."""
+
+import math
+
+import pytest
+
+from repro.geom import Vec2
+from repro.sim import (
+    APPROACH_LENGTH,
+    INTERSECTION_HALF_SIZE,
+    LANE_OFFSET,
+    Approach,
+    IntersectionMap,
+    Movement,
+    in_intersection_box,
+)
+
+
+class TestRouteGeometry:
+    def test_all_twelve_routes_exist(self, intersection_map):
+        assert len(intersection_map.routes) == 12
+
+    def test_route_starts_on_approach_lane(self, intersection_map):
+        route = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        start = route.point_at(0.0)
+        assert start.x == pytest.approx(LANE_OFFSET)
+        assert start.y == pytest.approx(-(INTERSECTION_HALF_SIZE + APPROACH_LENGTH))
+
+    def test_straight_route_is_straight(self, intersection_map):
+        route = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        for s in (0.0, 30.0, 60.0, 80.0):
+            assert route.point_at(s).x == pytest.approx(LANE_OFFSET, abs=1e-9)
+            assert route.heading_at(s) == pytest.approx(math.pi / 2, abs=1e-6)
+
+    def test_right_turn_exits_east(self, intersection_map):
+        route = intersection_map.route(Approach.SOUTH, Movement.RIGHT)
+        end = route.point_at(route.length)
+        assert end.x > INTERSECTION_HALF_SIZE
+        assert end.y == pytest.approx(-LANE_OFFSET, abs=0.1)
+        assert route.heading_at(route.length) == pytest.approx(0.0, abs=0.05)
+
+    def test_left_turn_exits_west(self, intersection_map):
+        route = intersection_map.route(Approach.SOUTH, Movement.LEFT)
+        end = route.point_at(route.length)
+        assert end.x < -INTERSECTION_HALF_SIZE
+        assert end.y == pytest.approx(LANE_OFFSET, abs=0.1)
+
+    def test_rotated_approaches_are_consistent(self, intersection_map):
+        # From-north straight drives south along x = -LANE_OFFSET.
+        route = intersection_map.route(Approach.NORTH, Movement.STRAIGHT)
+        mid = route.point_at(route.length / 2)
+        assert mid.x == pytest.approx(-LANE_OFFSET, abs=0.1)
+        assert route.heading_at(10.0) == pytest.approx(-math.pi / 2, abs=1e-6)
+
+    def test_entry_and_exit_bracket_the_box(self, intersection_map):
+        for route in intersection_map.routes:
+            assert 0.0 < route.entry_s < route.exit_s < route.length
+            inside = route.point_at((route.entry_s + route.exit_s) / 2)
+            assert in_intersection_box(inside)
+            assert not in_intersection_box(route.point_at(route.entry_s - 2.0))
+
+    def test_entry_distance_matches_approach_length(self, intersection_map):
+        route = intersection_map.route(Approach.WEST, Movement.STRAIGHT)
+        assert route.entry_s == pytest.approx(APPROACH_LENGTH, abs=1.0)
+
+    def test_point_at_clamps(self, intersection_map):
+        route = intersection_map.route(Approach.EAST, Movement.LEFT)
+        assert route.point_at(-5.0) == route.point_at(0.0)
+        assert route.point_at(route.length + 10.0) == route.point_at(route.length)
+
+    def test_arc_length_parameterization_is_monotone(self, intersection_map):
+        route = intersection_map.route(Approach.SOUTH, Movement.LEFT)
+        previous = route.point_at(0.0)
+        for i in range(1, 40):
+            s = i * route.length / 40
+            point = route.point_at(s)
+            step = point.distance_to(previous)
+            assert step > 0.0
+            previous = point
+
+    def test_arc_length_accuracy(self, intersection_map):
+        # Walking 10 m along the route moves ~10 m of geometry.
+        route = intersection_map.route(Approach.SOUTH, Movement.RIGHT)
+        a, b = route.point_at(20.0), route.point_at(30.0)
+        assert a.distance_to(b) == pytest.approx(10.0, rel=0.02)
+
+    def test_waypoints_ahead(self, intersection_map):
+        route = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        points = route.waypoints_ahead(10.0, count=3, spacing=5.0)
+        assert len(points) == 3
+        assert points[0].distance_to(route.point_at(15.0)) < 0.3
+
+
+class TestConflicts:
+    def test_crossing_straights_conflict(self, intersection_map):
+        south = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        east = intersection_map.route(Approach.EAST, Movement.STRAIGHT)
+        assert intersection_map.conflict(south, east)
+
+    def test_opposite_straights_do_not_conflict(self, intersection_map):
+        south = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        north = intersection_map.route(Approach.NORTH, Movement.STRAIGHT)
+        assert not intersection_map.conflict(south, north)
+
+    def test_oncoming_left_conflicts_with_straight(self, intersection_map):
+        south = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        north_left = intersection_map.route(Approach.NORTH, Movement.LEFT)
+        assert intersection_map.conflict(south, north_left)
+
+    def test_conflict_is_symmetric(self, intersection_map):
+        routes = intersection_map.routes
+        for a in routes:
+            for b in routes:
+                assert intersection_map.conflict(a, b) == intersection_map.conflict(b, a)
+
+    def test_same_approach_never_conflicts(self, intersection_map):
+        a = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        b = intersection_map.route(Approach.SOUTH, Movement.LEFT)
+        assert not intersection_map.conflict(a, b)
+
+
+class TestCrosswalk:
+    def test_south_crosswalk_crosses_ego_lane(self, intersection_map):
+        crosswalk = intersection_map.south_crosswalk
+        xs = [crosswalk.point_at(s).x for s in (0.0, crosswalk.length)]
+        assert min(xs) < LANE_OFFSET < max(xs)
+
+    def test_point_at_clamps(self, intersection_map):
+        crosswalk = intersection_map.south_crosswalk
+        assert crosswalk.point_at(-1.0) == crosswalk.start
+        assert crosswalk.point_at(crosswalk.length + 1.0) == crosswalk.end
+
+
+class TestBoxPredicate:
+    def test_centre_inside(self):
+        assert in_intersection_box(Vec2(0, 0))
+
+    def test_margin(self):
+        outside = Vec2(INTERSECTION_HALF_SIZE + 0.5, 0)
+        assert not in_intersection_box(outside)
+        assert in_intersection_box(outside, margin=1.0)

@@ -1,0 +1,90 @@
+"""Tests for pedestrian entities and collision detection helpers."""
+
+import pytest
+
+from repro.geom import Vec2
+from repro.sim import (
+    Approach,
+    CollisionEvent,
+    Crosswalk,
+    Movement,
+    Pedestrian,
+    Vehicle,
+    detect_ego_collisions,
+    first_collision,
+)
+
+
+@pytest.fixture
+def crosswalk():
+    return Crosswalk(Vec2(-6, -9), Vec2(6, -9))
+
+
+class TestPedestrian:
+    def test_waits_for_start_time(self, crosswalk):
+        ped = Pedestrian(crosswalk=crosswalk, start_time=2.0)
+        ped.step(0.1, now=1.0)
+        assert ped.s == 0.0
+        assert ped.velocity_at(1.0) == Vec2.zero()
+
+    def test_walks_at_speed(self, crosswalk):
+        ped = Pedestrian(crosswalk=crosswalk, start_time=0.0, speed=1.4)
+        for i in range(10):
+            ped.step(0.1, now=i * 0.1)
+        assert ped.s == pytest.approx(1.4)
+        assert ped.velocity_at(1.0).norm() == pytest.approx(1.4)
+
+    def test_stops_at_far_kerb(self, crosswalk):
+        ped = Pedestrian(crosswalk=crosswalk, start_time=0.0, speed=2.0)
+        for i in range(200):
+            ped.step(0.1, now=i * 0.1)
+        assert ped.finished
+        assert ped.s == crosswalk.length
+        assert ped.velocity_at(100.0) == Vec2.zero()
+
+    def test_footprint_is_circle(self, crosswalk):
+        ped = Pedestrian(crosswalk=crosswalk)
+        assert ped.footprint().radius == pytest.approx(0.35)
+
+    def test_invalid_dt(self, crosswalk):
+        with pytest.raises(ValueError):
+            Pedestrian(crosswalk=crosswalk).step(0.0, now=0.0)
+
+
+class TestCollisionDetection:
+    def test_no_collision_when_apart(self, intersection_map):
+        route = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        ego = Vehicle(route=route, s=20.0, is_ego=True)
+        other = Vehicle(route=route, s=40.0)
+        assert detect_ego_collisions(ego, [ego, other], [], 0.0) == []
+
+    def test_vehicle_overlap_detected(self, intersection_map):
+        route = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        ego = Vehicle(route=route, s=20.0, is_ego=True, speed=3.0)
+        other = Vehicle(route=route, s=22.0)
+        events = detect_ego_collisions(ego, [ego, other], [], 1.5)
+        assert len(events) == 1
+        assert events[0].other_kind == "vehicle"
+        assert events[0].ego_speed == pytest.approx(3.0)
+
+    def test_pedestrian_contact_detected(self, intersection_map, crosswalk):
+        route = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        ego = Vehicle(route=route, s=58.0, is_ego=True)  # near y=-9
+        # Walk the pedestrian to the ego lane.
+        ped = Pedestrian(crosswalk=crosswalk, s=crosswalk.length / 2 + 1.75, start_time=0.0)
+        events = detect_ego_collisions(ego, [ego], [ped], 2.0)
+        assert len(events) == 1
+        assert events[0].other_kind == "pedestrian"
+
+    def test_finished_entities_ignored(self, intersection_map):
+        route = intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+        ego = Vehicle(route=route, s=20.0, is_ego=True)
+        other = Vehicle(route=route, s=20.0)
+        other.s = route.length  # finished
+        assert detect_ego_collisions(ego, [ego, other], [], 0.0) == []
+
+    def test_first_collision_ordering(self):
+        a = CollisionEvent(time=2.0, ego_id=1, other_id=2, other_kind="vehicle", ego_speed=1.0)
+        b = CollisionEvent(time=1.0, ego_id=1, other_id=3, other_kind="vehicle", ego_speed=1.0)
+        assert first_collision([a, b]) is b
+        assert first_collision([]) is None

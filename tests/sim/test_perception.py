@@ -1,0 +1,134 @@
+"""Tests for perceived-object extraction."""
+
+import pytest
+
+from repro.geom import Vec2
+from repro.sim import (
+    ObjectKind,
+    PerceivedObject,
+    PerceptionSnapshot,
+    ScenarioType,
+    World,
+    build_scenario,
+    perceive,
+)
+
+
+def _world_with_traffic(steps: int = 40) -> World:
+    world = World(build_scenario(ScenarioType.CONGESTED, 0))
+    for _ in range(steps):
+        world.ego.apply_acceleration(0.0)
+        world.step()
+    return world
+
+
+class TestPerceive:
+    def test_ego_excluded(self):
+        world = _world_with_traffic()
+        snapshot = perceive(world)
+        assert all(obj.source_id != world.ego.vehicle_id for obj in snapshot.objects)
+
+    def test_objects_match_ground_truth(self):
+        world = _world_with_traffic()
+        snapshot = perceive(world)
+        truth = {v.vehicle_id: v for v in world.background_vehicles}
+        for obj in snapshot.objects:
+            vehicle = truth[obj.source_id]
+            assert obj.position.distance_to(vehicle.position) < 1e-9
+            assert obj.speed == pytest.approx(vehicle.speed)
+
+    def test_range_limit(self):
+        world = _world_with_traffic()
+        snapshot = perceive(world, perception_range=5.0)
+        for obj in snapshot.objects:
+            assert obj.position.distance_to(snapshot.ego_position) <= 5.0
+
+    def test_pedestrian_perceived(self):
+        world = World(build_scenario(ScenarioType.PEDESTRIAN, 0))
+        for _ in range(30):
+            world.ego.apply_acceleration(0.0)
+            world.step()
+        snapshot = perceive(world)
+        kinds = {obj.kind for obj in snapshot.objects}
+        assert ObjectKind.PEDESTRIAN in kinds
+
+    def test_ego_odometry(self):
+        world = _world_with_traffic()
+        snapshot = perceive(world)
+        assert snapshot.ego_speed == pytest.approx(world.ego.speed)
+        assert snapshot.ego_position == world.ego.position
+
+
+class TestPerceivedObject:
+    def _obj(self, **overrides):
+        defaults = dict(
+            object_id=1,
+            kind=ObjectKind.VEHICLE,
+            position=Vec2(1, 2),
+            velocity=Vec2(3, 0),
+            heading=0.0,
+            length=4.5,
+            width=2.0,
+            source_id=1,
+        )
+        defaults.update(overrides)
+        return PerceivedObject(**defaults)
+
+    def test_ghost_detection(self):
+        assert self._obj(source_id=None).is_ghost
+        assert not self._obj().is_ghost
+
+    def test_with_velocity_copy(self):
+        obj = self._obj()
+        spoofed = obj.with_velocity(Vec2(9, 9))
+        assert spoofed.velocity == Vec2(9, 9)
+        assert obj.velocity == Vec2(3, 0)  # original untouched
+
+    def test_with_position_copy(self):
+        obj = self._obj()
+        moved = obj.with_position(Vec2(0, 0))
+        assert moved.position == Vec2(0, 0)
+        assert obj.position == Vec2(1, 2)
+
+    def test_vehicle_footprint_is_box(self):
+        from repro.geom import OBB
+
+        assert isinstance(self._obj().footprint(), OBB)
+
+    def test_pedestrian_footprint_is_circle(self):
+        from repro.geom import Circle
+
+        ped = self._obj(kind=ObjectKind.PEDESTRIAN, length=0.7, width=0.7)
+        footprint = ped.footprint()
+        assert isinstance(footprint, Circle)
+        assert footprint.radius == pytest.approx(0.35)
+
+
+class TestSnapshot:
+    def test_nearby_filters_radius(self):
+        snapshot = PerceptionSnapshot(
+            time=0.0,
+            ego_position=Vec2(0, 0),
+            ego_velocity=Vec2(0, 0),
+            ego_heading=0.0,
+            ego_speed=0.0,
+            objects=[
+                PerceivedObject(1, ObjectKind.VEHICLE, Vec2(3, 0), Vec2(0, 0), 0, 4.5, 2, 1),
+                PerceivedObject(2, ObjectKind.VEHICLE, Vec2(30, 0), Vec2(0, 0), 0, 4.5, 2, 2),
+            ],
+        )
+        assert [o.object_id for o in snapshot.nearby(10.0)] == [1]
+
+    def test_copy_isolates_object_list(self):
+        snapshot = PerceptionSnapshot(
+            time=0.0,
+            ego_position=Vec2(0, 0),
+            ego_velocity=Vec2(0, 0),
+            ego_heading=0.0,
+            ego_speed=0.0,
+        )
+        clone = snapshot.copy()
+        clone.objects.append(
+            PerceivedObject(1, ObjectKind.VEHICLE, Vec2(1, 1), Vec2(0, 0), 0, 4.5, 2, 1)
+        )
+        assert snapshot.objects == []

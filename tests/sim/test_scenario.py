@@ -1,0 +1,79 @@
+"""Tests for scenario builders and attack plans."""
+
+import pytest
+
+from repro.sim import (
+    SCENARIO_BUILDERS,
+    AttackKind,
+    AttackPlan,
+    ScenarioType,
+    build_scenario,
+)
+
+
+class TestBuilders:
+    def test_every_type_has_builder(self):
+        assert set(SCENARIO_BUILDERS) == set(ScenarioType)
+
+    @pytest.mark.parametrize("scenario_type", list(ScenarioType))
+    def test_builders_are_deterministic(self, scenario_type):
+        a = build_scenario(scenario_type, 7)
+        b = build_scenario(scenario_type, 7)
+        assert a.ego_start_speed == b.ego_start_speed
+        assert [(e.time, e.approach, e.movement, e.speed, e.advance) for e in a.spawn_schedule] == [
+            (e.time, e.approach, e.movement, e.speed, e.advance) for e in b.spawn_schedule
+        ]
+        assert a.attack == b.attack
+
+    @pytest.mark.parametrize("scenario_type", list(ScenarioType))
+    def test_seeds_vary_traffic(self, scenario_type):
+        a = build_scenario(scenario_type, 0)
+        b = build_scenario(scenario_type, 1)
+        assert a.ego_start_speed != b.ego_start_speed or a.spawn_schedule != b.spawn_schedule
+
+    def test_congested_denser_than_nominal(self):
+        nominal = build_scenario(ScenarioType.NOMINAL, 0)
+        congested = build_scenario(ScenarioType.CONGESTED, 0)
+        assert len(congested.spawn_schedule) > len(nominal.spawn_schedule)
+
+    def test_attack_scenarios_carry_plans(self):
+        ghost = build_scenario(ScenarioType.GHOST_ATTACK, 0)
+        spoof = build_scenario(ScenarioType.SPOOF_ATTACK, 0)
+        assert ghost.attack.kind is AttackKind.GHOST_OBSTACLE
+        assert spoof.attack.kind is AttackKind.TRAJECTORY_SPOOF
+        assert build_scenario(ScenarioType.NOMINAL, 0).attack.kind is AttackKind.NONE
+
+    def test_pedestrian_scenario_has_spec(self):
+        spec = build_scenario(ScenarioType.PEDESTRIAN, 0)
+        assert spec.pedestrian is not None
+        assert spec.pedestrian.speed > 0
+
+    def test_pedestrian_direction_varies_with_seed(self):
+        directions = {build_scenario(ScenarioType.PEDESTRIAN, s).pedestrian.from_east for s in range(10)}
+        assert directions == {True, False}
+
+    def test_spoof_has_extended_stream(self):
+        spoof = build_scenario(ScenarioType.SPOOF_ATTACK, 0)
+        assert max(e.time for e in spoof.spawn_schedule) > 30.0
+        assert spoof.timeout_s == 60.0
+
+    def test_ghost_includes_tailgater(self):
+        ghost = build_scenario(ScenarioType.GHOST_ATTACK, 0)
+        assert any(e.tailgater for e in ghost.spawn_schedule)
+
+    def test_name_property(self):
+        assert build_scenario(ScenarioType.NOMINAL, 0).name == "nominal"
+
+
+class TestAttackPlan:
+    def test_inactive_plan(self):
+        plan = AttackPlan()
+        assert not plan.is_active_plan
+        assert not plan.active_at(5.0)
+
+    def test_window_semantics(self):
+        plan = AttackPlan(kind=AttackKind.GHOST_OBSTACLE, start_time=2.0, duration=3.0)
+        assert not plan.active_at(1.9)
+        assert plan.active_at(2.0)
+        assert plan.active_at(4.9)
+        assert not plan.active_at(5.0)

@@ -1,0 +1,123 @@
+"""Tests for the Table I sensor suite."""
+
+import pytest
+
+from repro.sim import (
+    ScenarioType,
+    World,
+    build_scenario,
+    build_sensor_suite,
+    perceive,
+)
+
+
+@pytest.fixture
+def world_and_snapshot():
+    world = World(build_scenario(ScenarioType.CONGESTED, 0))
+    for _ in range(40):
+        world.ego.apply_acceleration(0.0)
+        world.step()
+    return world, perceive(world)
+
+
+@pytest.fixture
+def suite(world_and_snapshot):
+    world, snapshot = world_and_snapshot
+    return build_sensor_suite(snapshot, world.ego.route, world.ego.s, 0.5)
+
+
+class TestTableI:
+    def test_all_eight_channels_present(self, suite):
+        channels = suite.channels()
+        assert list(channels) == [
+            "LiDAR-based Obstacle Summary",
+            "Radar Summary",
+            "Front RGB Camera",
+            "Third-Person View Camera",
+            "IMU Summary",
+            "Vehicle Speed",
+            "HD Map & Waypoint Data",
+            "Traffic Controls Status",
+        ]
+        assert all(isinstance(text, str) and text for text in channels.values())
+
+    def test_lidar_lists_objects_with_distance_and_size(self, suite):
+        assert "m" in suite.lidar_summary
+        assert "vehicle #" in suite.lidar_summary
+
+    def test_radar_reports_radial_velocity(self, suite):
+        assert "radial" in suite.radar_summary
+
+    def test_imu_contains_acceleration(self, suite):
+        assert "+0.50" in suite.imu_summary or "0.50 m/s^2" in suite.imu_summary
+
+    def test_speed_channel(self, world_and_snapshot, suite):
+        world, _ = world_and_snapshot
+        assert f"{world.ego.speed:.1f}" in suite.vehicle_speed
+
+    def test_waypoints_report_position_relative_to_entry(self, suite):
+        assert "before the intersection entry" in suite.waypoints
+
+    def test_traffic_controls_unsignalized(self, suite):
+        assert "unsignalized" in suite.traffic_controls
+
+
+class TestChannelSemantics:
+    def test_empty_scene_lidar(self):
+        world = World(build_scenario(ScenarioType.NOMINAL, 0))
+        # t=0: background not yet threatening/perceived far away is fine;
+        # build a snapshot with objects stripped.
+        snapshot = perceive(world)
+        snapshot.objects = []
+        suite = build_sensor_suite(snapshot, world.ego.route, world.ego.s, 0.0)
+        assert "no obstacles" in suite.lidar_summary
+        assert "no detections" in suite.radar_summary
+
+    def test_third_person_never_shows_ghosts(self, world_and_snapshot):
+        # The contextual camera sees reality; ghosts only live in the
+        # LiDAR/radar object list (SS V.B contrast).
+        from repro.geom import Vec2
+        from repro.sim import ObjectKind, PerceivedObject
+
+        world, snapshot = world_and_snapshot
+        ghost = PerceivedObject(
+            object_id=-1,
+            kind=ObjectKind.VEHICLE,
+            position=snapshot.ego_position + Vec2(0, 10),
+            velocity=Vec2(0, 0),
+            heading=0.0,
+            length=4.5,
+            width=2.0,
+            source_id=None,
+        )
+        without = build_sensor_suite(snapshot, world.ego.route, world.ego.s, 0.0)
+        snapshot.objects.append(ghost)
+        with_ghost = build_sensor_suite(snapshot, world.ego.route, world.ego.s, 0.0)
+        assert with_ghost.third_person_camera == without.third_person_camera
+        assert with_ghost.lidar_summary != without.lidar_summary
+
+    def test_front_camera_limited_to_forward_cone(self, world_and_snapshot):
+        from repro.geom import Vec2
+        from repro.sim import ObjectKind, PerceivedObject
+
+        world, snapshot = world_and_snapshot
+        behind = PerceivedObject(
+            object_id=99,
+            kind=ObjectKind.VEHICLE,
+            position=snapshot.ego_position - Vec2(0, 10),  # ego heads north
+            velocity=Vec2(0, 0),
+            heading=0.0,
+            length=4.5,
+            width=2.0,
+            source_id=99,
+        )
+        snapshot.objects = [behind]
+        suite = build_sensor_suite(snapshot, world.ego.route, world.ego.s, 0.0)
+        assert "#99" not in suite.front_camera
+
+    def test_waypoints_inside_box_note(self, world_and_snapshot):
+        world, snapshot = world_and_snapshot
+        route = world.ego.route
+        mid_box_s = (route.entry_s + route.exit_s) / 2
+        suite = build_sensor_suite(snapshot, route, mid_box_s, 0.0)
+        assert "inside the intersection" in suite.waypoints

@@ -1,0 +1,193 @@
+"""Tests for IDM car-following, right-of-way logic and spawning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Approach,
+    IDMParameters,
+    IntersectionMap,
+    Movement,
+    Pedestrian,
+    SpawnEvent,
+    TrafficController,
+    TrafficSpawner,
+    Vehicle,
+    idm_acceleration,
+)
+
+_MAP = IntersectionMap()
+
+
+class TestIDM:
+    def test_free_road_accelerates_below_desired(self):
+        params = IDMParameters()
+        assert idm_acceleration(4.0, None, 0.0, params) > 0.0
+
+    def test_free_road_steady_at_desired(self):
+        params = IDMParameters(desired_speed=8.0)
+        assert idm_acceleration(8.0, None, 0.0, params) == pytest.approx(0.0, abs=1e-9)
+
+    def test_close_gap_brakes(self):
+        params = IDMParameters()
+        accel = idm_acceleration(8.0, 3.0, 0.0, params)
+        assert accel < -1.0
+
+    def test_closing_fast_brakes_harder(self):
+        params = IDMParameters()
+        steady = idm_acceleration(8.0, 15.0, 0.0, params)
+        closing = idm_acceleration(8.0, 15.0, 5.0, params)
+        assert closing < steady
+
+    def test_braking_floor(self):
+        params = IDMParameters()
+        accel = idm_acceleration(10.0, 0.1, 10.0, params)
+        assert accel >= -3.0 * params.comfortable_deceleration - 1e-9
+
+    @given(
+        st.floats(min_value=0, max_value=12),
+        st.floats(min_value=0.5, max_value=60),
+        st.floats(min_value=-10, max_value=10),
+    )
+    def test_acceleration_bounded(self, speed, gap, closing):
+        params = IDMParameters()
+        accel = idm_acceleration(speed, gap, closing, params)
+        assert -3.0 * params.comfortable_deceleration - 1e-9 <= accel <= params.max_acceleration + 1e-9
+
+    @given(st.floats(min_value=0.5, max_value=30), st.floats(min_value=0, max_value=10))
+    def test_monotone_in_gap(self, gap, speed):
+        params = IDMParameters()
+        tighter = idm_acceleration(speed, gap, 0.0, params)
+        looser = idm_acceleration(speed, gap + 5.0, 0.0, params)
+        assert looser >= tighter - 1e-9
+
+
+class TestCarFollowing:
+    def test_follower_brakes_behind_stopped_leader(self):
+        route = _MAP.route(Approach.EAST, Movement.STRAIGHT)
+        leader = Vehicle(route=route, s=30.0, speed=0.0)
+        follower = Vehicle(route=route, s=22.0, speed=6.0)
+        controller = TrafficController(_MAP)
+        # Run several ticks: the reaction buffer delays the response.
+        for _ in range(5):
+            controller.control([leader, follower], [], now=0.0)
+        assert follower.acceleration < 0.0
+
+    def test_platoon_never_rear_ends_under_normal_driving(self):
+        route = _MAP.route(Approach.EAST, Movement.STRAIGHT)
+        leader = Vehicle(route=route, s=20.0, speed=7.0)
+        follower = Vehicle(route=route, s=8.0, speed=8.0)
+        controller = TrafficController(_MAP)
+        now = 0.0
+        for _ in range(300):
+            controller.control([leader, follower], [], now)
+            for v in (leader, follower):
+                v.step(0.1)
+            now += 0.1
+            gap = leader.s - follower.s - 4.5
+            assert gap > 0.0
+
+    def test_ego_acceleration_untouched(self):
+        route = _MAP.route(Approach.EAST, Movement.STRAIGHT)
+        ego = Vehicle(route=route, s=10.0, speed=5.0, is_ego=True)
+        ego.apply_acceleration(1.23)
+        ego.apply_acceleration(1.23)  # stabilize previous too
+        controller = TrafficController(_MAP)
+        controller.control([ego], [], now=0.0)
+        assert ego.acceleration == 1.23
+
+
+class TestRightOfWay:
+    def _approaching(self, approach, movement, distance, speed):
+        route = _MAP.route(approach, movement)
+        return Vehicle(route=route, s=route.entry_s - distance, speed=speed)
+
+    def test_yields_to_vehicle_inside_box(self):
+        route = _MAP.route(Approach.EAST, Movement.STRAIGHT)
+        inside = Vehicle(route=_MAP.route(Approach.SOUTH, Movement.STRAIGHT))
+        inside.s = inside.route.entry_s + 3.0
+        inside.speed = 5.0
+        approaching = self._approaching(Approach.EAST, Movement.STRAIGHT, 8.0, 6.0)
+        controller = TrafficController(_MAP)
+        for _ in range(5):
+            controller.control([inside, approaching], [], now=0.0)
+        assert approaching.acceleration < 0.0
+
+    def test_clear_arrival_order_wins(self):
+        # The later vehicle yields to the much earlier one.
+        early = self._approaching(Approach.EAST, Movement.STRAIGHT, 4.0, 7.0)
+        late = self._approaching(Approach.SOUTH, Movement.STRAIGHT, 30.0, 7.0)
+        controller = TrafficController(_MAP)
+        for _ in range(5):
+            controller.control([early, late], [], now=0.0)
+        assert early.acceleration > -0.5  # keeps going
+        assert late.acceleration < 0.0  # yields
+
+    def test_left_turn_yields_to_straight_on_tie(self):
+        left = self._approaching(Approach.NORTH, Movement.LEFT, 10.0, 7.0)
+        straight = self._approaching(Approach.SOUTH, Movement.STRAIGHT, 10.0, 7.0)
+        controller = TrafficController(_MAP)
+        for _ in range(5):
+            controller.control([left, straight], [], now=0.0)
+        assert left.acceleration < 0.0
+
+    def test_committed_vehicle_never_stops_in_box(self):
+        route = _MAP.route(Approach.EAST, Movement.STRAIGHT)
+        committed = Vehicle(route=route, s=route.entry_s + 1.0, speed=7.0)
+        rival = self._approaching(Approach.SOUTH, Movement.STRAIGHT, 2.0, 7.0)
+        controller = TrafficController(_MAP)
+        for _ in range(5):
+            controller.control([committed, rival], [], now=0.0)
+        assert committed.acceleration > -1.0
+
+    def test_yields_to_pedestrian_on_path(self):
+        vehicle = self._approaching(Approach.SOUTH, Movement.STRAIGHT, 8.0, 6.0)
+        crossing = _MAP.south_crosswalk
+        pedestrian = Pedestrian(crosswalk=crossing, s=crossing.length / 2, start_time=0.0)
+        controller = TrafficController(_MAP)
+        for _ in range(5):
+            controller.control([vehicle], [pedestrian], now=1.0)
+        assert vehicle.acceleration < 0.0
+
+
+class TestSpawner:
+    def test_spawns_at_scheduled_time(self):
+        spawner = TrafficSpawner(
+            _MAP, [SpawnEvent(time=1.0, approach=Approach.EAST, movement=Movement.STRAIGHT)]
+        )
+        vehicles = []
+        assert spawner.spawn_due(0.5, vehicles) == []
+        spawned = spawner.spawn_due(1.0, vehicles)
+        assert len(spawned) == 1
+        assert spawner.exhausted
+
+    def test_advance_gives_head_start(self):
+        spawner = TrafficSpawner(
+            _MAP,
+            [SpawnEvent(time=0.0, approach=Approach.EAST, movement=Movement.STRAIGHT, advance=25.0)],
+        )
+        vehicles = []
+        spawner.spawn_due(0.0, vehicles)
+        assert vehicles[0].s == pytest.approx(25.0)
+
+    def test_blocked_slot_defers_spawn(self):
+        route = _MAP.route(Approach.EAST, Movement.STRAIGHT)
+        blocker = Vehicle(route=route, s=2.0, speed=0.0)
+        spawner = TrafficSpawner(
+            _MAP, [SpawnEvent(time=0.0, approach=Approach.EAST, movement=Movement.STRAIGHT)]
+        )
+        vehicles = [blocker]
+        assert spawner.spawn_due(0.0, vehicles) == []
+        assert not spawner.exhausted
+        blocker.s = 50.0
+        assert len(spawner.spawn_due(0.1, vehicles)) == 1
+
+    def test_tailgater_flag_propagates(self):
+        spawner = TrafficSpawner(
+            _MAP,
+            [SpawnEvent(time=0.0, approach=Approach.SOUTH, movement=Movement.STRAIGHT, tailgater=True)],
+        )
+        vehicles = []
+        spawner.spawn_due(0.0, vehicles)
+        assert vehicles[0].tailgater

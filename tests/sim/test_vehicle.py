@@ -1,0 +1,158 @@
+"""Tests for vehicle kinematics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Approach, Movement, Vehicle, gap_along_route
+
+
+@pytest.fixture
+def straight(intersection_map):
+    return intersection_map.route(Approach.SOUTH, Movement.STRAIGHT)
+
+
+class TestKinematics:
+    def test_constant_speed_advance(self, straight):
+        v = Vehicle(route=straight, s=10.0, speed=5.0)
+        v.apply_acceleration(0.0)
+        v.step(0.1)
+        assert v.s == pytest.approx(10.5)
+        assert v.speed == pytest.approx(5.0)
+
+    def test_acceleration_trapezoidal(self, straight):
+        v = Vehicle(route=straight, s=0.0, speed=0.0)
+        v.apply_acceleration(2.0)
+        v.step(1.0)
+        assert v.speed == pytest.approx(2.0)
+        assert v.s == pytest.approx(1.0)  # average speed 1.0 over the step
+
+    def test_braking_never_reverses(self, straight):
+        v = Vehicle(route=straight, s=10.0, speed=1.0)
+        v.apply_acceleration(-8.0)
+        before = v.s
+        v.step(1.0)
+        assert v.speed == 0.0
+        assert before < v.s < before + 1.0  # partial advance then rest
+
+    def test_stopped_vehicle_stays_put_under_braking(self, straight):
+        v = Vehicle(route=straight, s=10.0, speed=0.0)
+        v.apply_acceleration(-5.0)
+        v.step(0.1)
+        assert v.s == 10.0
+        assert v.speed == 0.0
+
+    def test_negative_dt_rejected(self, straight):
+        v = Vehicle(route=straight)
+        with pytest.raises(ValueError):
+            v.step(0.0)
+
+    def test_negative_initial_speed_rejected(self, straight):
+        with pytest.raises(ValueError):
+            Vehicle(route=straight, speed=-1.0)
+
+    def test_jerk_from_accel_change(self, straight):
+        v = Vehicle(route=straight, speed=5.0)
+        v.apply_acceleration(1.0)
+        v.apply_acceleration(-2.0)
+        assert v.jerk(0.1) == pytest.approx(-30.0)
+
+
+class TestDerivedGeometry:
+    def test_position_follows_route(self, straight):
+        v = Vehicle(route=straight, s=20.0)
+        assert v.position == straight.point_at(20.0)
+
+    def test_velocity_aligned_with_heading(self, straight):
+        v = Vehicle(route=straight, s=20.0, speed=4.0)
+        assert v.velocity.norm() == pytest.approx(4.0)
+        assert v.velocity.y == pytest.approx(4.0, abs=1e-6)
+
+    def test_footprint_dimensions(self, straight):
+        box = Vehicle(route=straight, s=20.0).footprint()
+        assert box.half_length == pytest.approx(2.25)
+        assert box.half_width == pytest.approx(1.0)
+
+    def test_unique_ids(self, straight):
+        a, b = Vehicle(route=straight), Vehicle(route=straight)
+        assert a.vehicle_id != b.vehicle_id
+
+
+class TestProgress:
+    def test_intersection_membership(self, straight):
+        v = Vehicle(route=straight, s=straight.entry_s + 3.0)
+        assert v.in_intersection
+        v2 = Vehicle(route=straight, s=straight.entry_s - 5.0)
+        assert not v2.in_intersection
+
+    def test_cleared_requires_body_out(self, straight):
+        v = Vehicle(route=straight, s=straight.exit_s + 0.5)
+        assert not v.cleared_intersection
+        v.s = straight.exit_s + 3.0
+        assert v.cleared_intersection
+
+    def test_finished_at_route_end(self, straight):
+        v = Vehicle(route=straight, s=straight.length)
+        assert v.finished
+
+    def test_distance_to_entry_sign(self, straight):
+        assert Vehicle(route=straight, s=10.0).distance_to_entry() > 0
+        assert Vehicle(route=straight, s=straight.entry_s + 1).distance_to_entry() < 0
+
+
+class TestGapAlongRoute:
+    def test_gap_between_leader_and_follower(self, straight):
+        leader = Vehicle(route=straight, s=30.0)
+        follower = Vehicle(route=straight, s=20.0)
+        assert gap_along_route(leader, follower) == pytest.approx(10.0 - 4.5)
+
+    def test_wrong_order_returns_none(self, straight):
+        leader = Vehicle(route=straight, s=10.0)
+        follower = Vehicle(route=straight, s=20.0)
+        assert gap_along_route(leader, follower) is None
+
+    def test_different_routes_return_none(self, straight, intersection_map):
+        other = intersection_map.route(Approach.EAST, Movement.STRAIGHT)
+        assert gap_along_route(Vehicle(route=straight, s=30), Vehicle(route=other, s=20)) is None
+
+    def test_overlapping_clamped_to_zero(self, straight):
+        leader = Vehicle(route=straight, s=21.0)
+        follower = Vehicle(route=straight, s=20.0)
+        assert gap_along_route(leader, follower) == 0.0
+
+
+# Hypothesis cannot mix injected fixtures with strategies filled from the
+# right, so the property tests build their own map once at module scope.
+from repro.sim import IntersectionMap
+
+_MAP = IntersectionMap()
+
+
+class TestEnergyProperties:
+    @given(
+        st.floats(min_value=0, max_value=15),
+        st.floats(min_value=-8, max_value=3),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_speed_never_negative(self, speed, accel, steps):
+        route = _MAP.route(Approach.SOUTH, Movement.STRAIGHT)
+        v = Vehicle(route=route, s=0.0, speed=speed)
+        for _ in range(steps):
+            v.apply_acceleration(accel)
+            v.step(0.1)
+            assert v.speed >= 0.0
+
+    @given(
+        st.floats(min_value=0, max_value=15),
+        st.floats(min_value=-8, max_value=3),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_position_monotone(self, speed, accel, steps):
+        route = _MAP.route(Approach.SOUTH, Movement.STRAIGHT)
+        v = Vehicle(route=route, s=0.0, speed=speed)
+        previous = v.s
+        for _ in range(steps):
+            v.apply_acceleration(accel)
+            v.step(0.1)
+            assert v.s >= previous
+            previous = v.s

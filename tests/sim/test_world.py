@@ -1,0 +1,113 @@
+"""Tests for the World container: stepping, termination, ground truth."""
+
+import pytest
+
+from repro.sim import (
+    Maneuver,
+    ManeuverExecutor,
+    ScenarioType,
+    World,
+    build_scenario,
+)
+
+
+def drive(world: World, maneuver: Maneuver = Maneuver.PROCEED, max_steps: int = 800) -> None:
+    executor = ManeuverExecutor()
+    for _ in range(max_steps):
+        if world.done:
+            return
+        accel = executor.acceleration_for(maneuver, world.ego.speed, world.ego.s, world.ego.route)
+        world.ego.apply_acceleration(accel)
+        world.step()
+
+
+class TestStepping:
+    def test_time_advances_by_tick(self):
+        world = World(build_scenario(ScenarioType.NOMINAL, 0))
+        world.ego.apply_acceleration(0.0)
+        world.step()
+        assert world.time == pytest.approx(0.1)
+        assert world.tick_count == 1
+
+    def test_background_traffic_spawns(self):
+        world = World(build_scenario(ScenarioType.CONGESTED, 0))
+        drive(world)
+        assert len(world.background_vehicles) >= 4
+
+    def test_nominal_run_clears_without_collision(self):
+        world = World(build_scenario(ScenarioType.NOMINAL, 1))
+        drive(world)
+        assert world.ego_clearance_time is not None
+        assert not world.had_collision
+
+    def test_pedestrian_scenario_has_pedestrian(self):
+        world = World(build_scenario(ScenarioType.PEDESTRIAN, 0))
+        assert len(world.pedestrians) == 1
+
+    def test_min_true_gap_tracked(self):
+        world = World(build_scenario(ScenarioType.CONGESTED, 0))
+        drive(world)
+        assert world.min_true_gap < 100.0
+
+
+class TestTermination:
+    def test_timeout(self):
+        spec = build_scenario(ScenarioType.NOMINAL, 0)
+        spec.timeout_s = 1.0
+        world = World(spec)
+        drive(world, Maneuver.WAIT)
+        assert world.timed_out
+        assert world.done
+
+    def test_gridlock_requires_no_clearance_and_no_collision(self):
+        spec = build_scenario(ScenarioType.NOMINAL, 0)
+        spec.timeout_s = 2.0
+        world = World(spec)
+        drive(world, Maneuver.WAIT)
+        assert world.gridlocked
+
+    def test_done_shortly_after_clearance(self):
+        world = World(build_scenario(ScenarioType.NOMINAL, 2))
+        drive(world)
+        assert world.done
+        assert world.time <= world.ego_clearance_time + 2.1
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        a = World(build_scenario(ScenarioType.CONGESTED, 5))
+        b = World(build_scenario(ScenarioType.CONGESTED, 5))
+        drive(a)
+        drive(b)
+        assert a.time == b.time
+        assert a.ego.s == pytest.approx(b.ego.s)
+        assert len(a.collisions) == len(b.collisions)
+        assert [v.s for v in a.background_vehicles] == pytest.approx(
+            [v.s for v in b.background_vehicles]
+        )
+
+    def test_different_seeds_differ(self):
+        a = World(build_scenario(ScenarioType.CONGESTED, 1))
+        b = World(build_scenario(ScenarioType.CONGESTED, 2))
+        drive(a)
+        drive(b)
+        positions_a = sorted(round(v.s, 2) for v in a.background_vehicles)
+        positions_b = sorted(round(v.s, 2) for v in b.background_vehicles)
+        assert positions_a != positions_b
+
+
+class TestCollisionBookkeeping:
+    def test_collision_logged_once_per_partner(self):
+        # Force an overlap by teleporting a background vehicle onto the ego.
+        world = World(build_scenario(ScenarioType.CONGESTED, 0))
+        world.ego.apply_acceleration(0.0)
+        for _ in range(30):
+            world.step()
+        intruder = world.background_vehicles[0]
+        intruder.route = world.ego.route
+        intruder.s = world.ego.s + 1.0
+        world.step()
+        world.step()
+        ids = [c.other_id for c in world.collisions]
+        assert ids.count(intruder.vehicle_id) == 1
+        assert world.had_collision

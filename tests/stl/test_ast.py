@@ -1,0 +1,103 @@
+"""Tests for the STL AST: expressions, intervals and horizons."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stl import (
+    And,
+    Atom,
+    Eventually,
+    Expr,
+    Globally,
+    Interval,
+    Not,
+    Until,
+    parse,
+)
+
+
+class TestExpr:
+    def test_var_and_const(self):
+        assert Expr.var("x").evaluate({"x": 3.0}) == 3.0
+        assert Expr.const(5.0).evaluate({}) == 5.0
+
+    def test_plus_merges_coefficients(self):
+        expr = Expr.var("x").plus(Expr.var("x")).plus(Expr.const(1.0))
+        assert expr.evaluate({"x": 2.0}) == pytest.approx(5.0)
+
+    def test_plus_cancels_to_constant(self):
+        expr = Expr.var("x").plus(Expr.var("x").scaled(-1.0))
+        assert expr.coeffs == ()
+        assert expr.evaluate({}) == 0.0
+
+    def test_scaled(self):
+        expr = Expr.var("x").plus(Expr.const(1.0)).scaled(2.0)
+        assert expr.evaluate({"x": 3.0}) == pytest.approx(8.0)
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Expr.var("x").evaluate({})
+
+    def test_names(self):
+        expr = Expr.var("a").plus(Expr.var("b"))
+        assert expr.names() == {"a", "b"}
+
+    @given(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+    def test_evaluation_is_affine(self, x, c, k):
+        expr = Expr.var("x").scaled(k).plus(Expr.const(c))
+        assert expr.evaluate({"x": x}) == pytest.approx(k * x + c, abs=1e-6)
+
+
+class TestInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interval(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            Interval(3.0, 2.0)
+
+    def test_unbounded(self):
+        interval = Interval.unbounded()
+        assert not interval.is_bounded
+        assert interval.to_steps(0.1) == (0, None)
+
+    def test_to_steps_rounds(self):
+        assert Interval(0.0, 1.0).to_steps(0.1) == (0, 10)
+        assert Interval(0.25, 0.55).to_steps(0.1) == (2, 6)
+
+    def test_str_forms(self):
+        assert str(Interval.unbounded()) == ""
+        assert str(Interval(0.0, 2.0)) == "[0,2]"
+        assert str(Interval(1.0, math.inf)) == "[1,inf]"
+
+
+class TestHorizonsAndVariables:
+    def test_atom_horizon_zero(self):
+        assert parse("x >= 0").horizon() == 0.0
+
+    def test_nested_horizons_add(self):
+        formula = Globally(Eventually(parse("x >= 0"), Interval(0, 2)), Interval(0, 3))
+        assert formula.horizon() == pytest.approx(5.0)
+
+    def test_until_horizon_includes_operands(self):
+        inner = Globally(parse("x >= 0"), Interval(0, 1))
+        formula = Until(parse("y >= 0"), inner, Interval(0, 4))
+        assert formula.horizon() == pytest.approx(5.0)
+
+    def test_unbounded_horizon_is_inf(self):
+        assert math.isinf(parse("G (x >= 0)").horizon())
+
+    def test_variables_collected_through_tree(self):
+        formula = And(Not(parse("a >= 0")), parse("b - c >= 1"))
+        assert formula.variables() == {"a", "b", "c"}
+
+    def test_atom_label_preserved(self):
+        atom = parse("speed <= 10")
+        assert isinstance(atom, Atom)
+        assert "speed" in str(atom)

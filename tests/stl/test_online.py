@@ -1,0 +1,86 @@
+"""Tests for the online (incremental) STL monitor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stl import OnlineMonitor, Trace, evaluate, parse
+
+
+class TestVerdictTiming:
+    def test_verdicts_wait_for_horizon(self):
+        monitor = OnlineMonitor("G[0,0.3] (x >= 0)", period=0.1)
+        assert monitor.horizon_steps == 3
+        assert monitor.update({"x": 1.0}) == []
+        assert monitor.update({"x": 2.0}) == []
+        assert monitor.update({"x": 3.0}) == []
+        verdicts = monitor.update({"x": 4.0})
+        assert [v.step for v in verdicts] == [0]
+
+    def test_verdict_values_match_offline(self):
+        samples = [2.0, -1.0, 3.0, 0.5, -2.0, 4.0, 1.0]
+        monitor = OnlineMonitor("G[0,0.2] (x >= 0)", period=0.1)
+        online = []
+        for x in samples:
+            online.extend(monitor.update({"x": x}))
+        offline = evaluate(
+            parse("G[0,0.2] (x >= 0)"), Trace(period=0.1, signals={"x": samples})
+        )
+        for verdict in online:
+            assert verdict.robustness == pytest.approx(offline[verdict.step])
+
+    def test_zero_horizon_concludes_immediately(self):
+        monitor = OnlineMonitor("x >= 1", period=0.1)
+        verdicts = monitor.update({"x": 3.0})
+        assert len(verdicts) == 1
+        assert verdicts[0].robustness == pytest.approx(2.0)
+        assert verdicts[0].satisfied
+
+    def test_unbounded_formula_never_concludes(self):
+        monitor = OnlineMonitor("G (x >= 0)", period=0.1)
+        assert monitor.horizon_steps is None
+        for _ in range(10):
+            assert monitor.update({"x": 1.0}) == []
+        assert monitor.provisional(0) == pytest.approx(1.0)
+
+    def test_verdict_time_stamps(self):
+        monitor = OnlineMonitor("x >= 0", period=0.5)
+        first = monitor.update({"x": 1.0})[0]
+        second = monitor.update({"x": 2.0})[0]
+        assert first.time == 0.0
+        assert second.time == pytest.approx(0.5)
+
+
+class TestProvisionalAndReset:
+    def test_provisional_none_before_samples(self):
+        monitor = OnlineMonitor("x >= 0", period=0.1)
+        assert monitor.provisional() is None
+
+    def test_provisional_out_of_range(self):
+        monitor = OnlineMonitor("x >= 0", period=0.1)
+        monitor.update({"x": 1.0})
+        with pytest.raises(IndexError):
+            monitor.provisional(5)
+
+    def test_reset_clears_progress(self):
+        monitor = OnlineMonitor("x >= 0", period=0.1)
+        monitor.update({"x": 1.0})
+        monitor.reset()
+        assert monitor.steps_observed == 0
+        assert monitor.update({"x": -1.0})[0].robustness == pytest.approx(-1.0)
+
+
+class TestAgainstOffline:
+    @given(st.lists(st.integers(min_value=-5, max_value=5), min_size=5, max_size=20))
+    def test_online_equals_offline_for_bounded_formula(self, xs):
+        text = "F[0,0.3] (x >= 1)"
+        monitor = OnlineMonitor(text, period=0.1)
+        online = {}
+        for x in xs:
+            for verdict in monitor.update({"x": float(x)}):
+                online[verdict.step] = verdict.robustness
+        offline = evaluate(parse(text), Trace(period=0.1, signals={"x": [float(x) for x in xs]}))
+        for step, value in online.items():
+            assert value == pytest.approx(offline[step])
+        # Every step whose horizon was covered must have concluded.
+        assert set(online) == set(range(max(0, len(xs) - 3)))

@@ -1,0 +1,166 @@
+"""Tests for the STL formula parser."""
+
+import math
+
+import pytest
+
+from repro.stl import (
+    And,
+    Atom,
+    Eventually,
+    Globally,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    STLSyntaxError,
+    Until,
+    parse,
+)
+
+
+class TestAtoms:
+    def test_simple_ge(self):
+        formula = parse("x >= 2")
+        assert isinstance(formula, Atom)
+        assert formula.expr.evaluate({"x": 5.0}) == pytest.approx(3.0)
+
+    def test_le_normalized(self):
+        formula = parse("x <= 2")
+        assert formula.expr.evaluate({"x": 5.0}) == pytest.approx(-3.0)
+
+    def test_strict_equivalent_to_nonstrict(self):
+        a = parse("x > 1").expr.evaluate({"x": 3.0})
+        b = parse("x >= 1").expr.evaluate({"x": 3.0})
+        assert a == b
+
+    def test_affine_expression(self):
+        formula = parse("2*x - y + 1 >= 0")
+        assert formula.expr.evaluate({"x": 1.0, "y": 3.0}) == pytest.approx(0.0)
+
+    def test_parenthesized_arithmetic(self):
+        formula = parse("(x + y) * 2 >= 4")
+        assert formula.expr.evaluate({"x": 1.0, "y": 2.0}) == pytest.approx(2.0)
+
+    def test_unary_minus(self):
+        formula = parse("-x >= -5")
+        assert formula.expr.evaluate({"x": 2.0}) == pytest.approx(3.0)
+
+    def test_dotted_variable_names(self):
+        formula = parse("ego.speed >= 1")
+        assert formula.variables() == {"ego.speed"}
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(STLSyntaxError):
+            parse("x * y >= 1")
+
+
+class TestConnectives:
+    def test_conjunction(self):
+        assert isinstance(parse("x >= 0 & y >= 0"), And)
+
+    def test_disjunction(self):
+        assert isinstance(parse("x >= 0 | y >= 0"), Or)
+
+    def test_negation(self):
+        assert isinstance(parse("!(x >= 0)"), Not)
+
+    def test_implication_right_associative(self):
+        formula = parse("a >= 0 -> b >= 0 -> c >= 0")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Implies)
+
+    def test_precedence_and_over_or(self):
+        formula = parse("a >= 0 | b >= 0 & c >= 0")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.right, And)
+
+    def test_parentheses_override_precedence(self):
+        formula = parse("(a >= 0 | b >= 0) & c >= 0")
+        assert isinstance(formula, And)
+        assert isinstance(formula.left, Or)
+
+
+class TestTemporal:
+    def test_globally_with_interval(self):
+        formula = parse("G[0,2] (x >= 0)")
+        assert isinstance(formula, Globally)
+        assert formula.interval == Interval(0.0, 2.0)
+
+    def test_eventually_unbounded_default(self):
+        formula = parse("F (x >= 0)")
+        assert isinstance(formula, Eventually)
+        assert not formula.interval.is_bounded
+
+    def test_until_with_interval(self):
+        formula = parse("x >= 0 U[1,3] y >= 0")
+        assert isinstance(formula, Until)
+        assert formula.interval == Interval(1.0, 3.0)
+
+    def test_inf_upper_bound(self):
+        formula = parse("G[1,inf] (x >= 0)")
+        assert formula.interval.low == 1.0
+        assert math.isinf(formula.interval.high)
+
+    def test_nested_temporal(self):
+        formula = parse("G[0,5] F[0,1] (x >= 0)")
+        assert isinstance(formula, Globally)
+        assert isinstance(formula.operand, Eventually)
+        assert formula.horizon() == pytest.approx(6.0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(STLSyntaxError):
+            parse("G[3,1] (x >= 0)")
+
+    def test_negative_lower_bound_rejected(self):
+        with pytest.raises(STLSyntaxError):
+            parse("G[-1,1] (x >= 0)")
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(STLSyntaxError):
+            parse("")
+
+    def test_missing_comparison(self):
+        with pytest.raises(STLSyntaxError):
+            parse("x + y")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(STLSyntaxError):
+            parse("x >= 0 extra")
+
+    def test_unbalanced_parentheses(self):
+        with pytest.raises(STLSyntaxError):
+            parse("(x >= 0")
+
+    def test_unknown_character(self):
+        with pytest.raises(STLSyntaxError):
+            parse("x >= 0 @ y >= 1")
+
+    def test_error_carries_position(self):
+        try:
+            parse("x >= ")
+        except STLSyntaxError as exc:
+            assert exc.position >= 4
+        else:  # pragma: no cover
+            pytest.fail("expected STLSyntaxError")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x >= 1",
+            "G[0,2] (x >= 0)",
+            "F[0.5,3] (x - y >= 2)",
+            "(a >= 0 & b >= 0) | !(c <= 1)",
+            "a >= 0 U[0,4] b >= 0",
+            "G (speed <= 10)",
+        ],
+    )
+    def test_str_reparses_to_same_horizon(self, text):
+        formula = parse(text)
+        reparsed = parse(str(formula))
+        assert reparsed.horizon() == formula.horizon()
+        assert reparsed.variables() == formula.variables()

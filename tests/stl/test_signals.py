@@ -1,0 +1,66 @@
+"""Tests for the Trace container."""
+
+import pytest
+
+from repro.stl import Trace
+
+
+class TestConstruction:
+    def test_empty_trace(self):
+        tr = Trace(period=0.1)
+        assert len(tr) == 0
+        assert tr.duration == 0.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            Trace(period=0.0)
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(period=0.1, signals={"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_from_records(self):
+        tr = Trace.from_records([{"a": 1, "b": 2}, {"a": 3, "b": 4}], period=0.5)
+        assert len(tr) == 2
+        assert tr.value("a", 1) == 3.0
+        assert tr.duration == 0.5
+
+    def test_from_records_empty(self):
+        assert len(Trace.from_records([], period=0.1)) == 0
+
+    def test_from_records_mismatched_keys(self):
+        with pytest.raises(ValueError):
+            Trace.from_records([{"a": 1}, {"b": 2}], period=0.1)
+
+
+class TestAccess:
+    def test_value_bounds(self):
+        tr = Trace(period=1.0, signals={"x": [1.0, 2.0]})
+        with pytest.raises(IndexError):
+            tr.value("x", 2)
+        with pytest.raises(KeyError):
+            tr.value("y", 0)
+
+    def test_variables(self):
+        tr = Trace(period=1.0, signals={"x": [1.0], "y": [2.0]})
+        assert set(tr.variables) == {"x", "y"}
+
+    def test_steps_for(self):
+        tr = Trace(period=0.1)
+        assert tr.steps_for(1.0) == 10
+        assert tr.steps_for(0.25) == 2  # rounds
+
+
+class TestAppend:
+    def test_append_grows(self):
+        tr = Trace(period=0.1)
+        tr.append({"x": 1.0})
+        tr.append({"x": 2.0})
+        assert len(tr) == 2
+        assert tr.value("x", 1) == 2.0
+
+    def test_append_key_mismatch(self):
+        tr = Trace(period=0.1)
+        tr.append({"x": 1.0})
+        with pytest.raises(ValueError):
+            tr.append({"y": 1.0})
