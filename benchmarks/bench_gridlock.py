@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import run_once
+from repro.experiments import DEFAULT_SEEDS, run_once
 from repro.experiments.gridlock import generate, measure
 from repro.sim import ScenarioType
 
@@ -20,7 +20,7 @@ from conftest import BENCH_SEEDS
 def spoof_outcomes():
     # Gridlock is a ~20% event: always use the paper's full 15 seeds so
     # the assertion is statistically meaningful.
-    seeds = BENCH_SEEDS if len(BENCH_SEEDS) >= 15 else tuple(range(15))
+    seeds = BENCH_SEEDS if len(BENCH_SEEDS) >= len(DEFAULT_SEEDS) else DEFAULT_SEEDS
     return measure(seeds=seeds)
 
 

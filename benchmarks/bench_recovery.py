@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments import DEFAULT_SEEDS
 from repro.experiments.recovery import generate, measure
 from repro.sim import ScenarioType
 
@@ -28,7 +29,7 @@ SCENARIOS = (
 def pairs():
     # Counterfactual saves are rare events (a few per 15 runs); always use
     # the paper's full seed count.
-    seeds = BENCH_SEEDS if len(BENCH_SEEDS) >= 15 else tuple(range(15))
+    seeds = BENCH_SEEDS if len(BENCH_SEEDS) >= len(DEFAULT_SEEDS) else DEFAULT_SEEDS
     return measure(scenarios=SCENARIOS, seeds=seeds)
 
 

@@ -17,7 +17,8 @@ from repro.core import (
     RoleResult,
     Verdict,
 )
-from repro.experiments import build_controller
+from repro.exec import CampaignEngine, EnginePolicy, WorkUnit
+from repro.experiments import build_controller, run_suite
 from repro.roles import predict_min_separation
 from repro.sim import (
     Maneuver,
@@ -150,3 +151,37 @@ def test_orchestration_overhead(benchmark):
     assert iterations == 200
     per_role_iteration = benchmark.stats.stats.mean / (iterations * len(roles))
     assert per_role_iteration < 1e-3  # microseconds-scale per role
+
+
+def _noop_task(payload):
+    """Module-level (picklable) trivial task for engine-overhead benches."""
+    return payload
+
+
+def test_engine_dispatch_overhead(benchmark):
+    """Per-task overhead of the repro.exec engine's in-process path.
+
+    The engine wraps every task with retry accounting, settling and
+    progress events; that envelope must stay far below the cost of one
+    real campaign run (hundreds of ms) for parallelism to pay off.
+    """
+    units = [WorkUnit(key=f"u{i}", payload=i) for i in range(500)]
+    engine = CampaignEngine(_noop_task, EnginePolicy(jobs=1), progress=None)
+
+    report = benchmark(lambda: engine.run(units))
+    assert all(record.ok for record in report.records)
+    per_task = benchmark.stats.stats.mean / len(units)
+    assert per_task < 1e-3  # sub-millisecond engine envelope per task
+
+
+def test_parallel_campaign_throughput(benchmark):
+    """End-to-end campaign throughput through the process-pool runner."""
+    seeds = (0, 1)
+
+    def run():
+        return run_suite(
+            (ScenarioType.NOMINAL,), seeds, jobs=2, progress=None
+        )
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results[ScenarioType.NOMINAL]) == len(seeds)

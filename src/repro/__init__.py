@@ -19,6 +19,7 @@ Package map:
 * :mod:`repro.llm` — the surrogate LLM tactical planner (Llama substitute).
 * :mod:`repro.stl` — signal temporal logic monitoring (RTAMT substitute).
 * :mod:`repro.env` — environment interfaces and trace recording.
+* :mod:`repro.exec` — parallel campaign execution (pool, journal, resume).
 * :mod:`repro.experiments` — the paper's evaluation harness.
 * :mod:`repro.analysis` — aggregation and rendering utilities.
 """

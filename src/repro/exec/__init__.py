@@ -1,0 +1,56 @@
+"""Campaign execution engine: sharded parallel task running with
+checkpoint/resume, worker fault tolerance and live progress.
+
+The paper's evaluation is embarrassingly parallel — 90 seeded runs plus
+counterfactual and ablation passes, every run independent and seeded.
+This subsystem turns any (scenario, seed, options) sweep into
+:class:`WorkUnit` tasks and executes them on a forked process pool (or a
+deterministic in-process loop), guaranteeing that ``jobs=N`` reproduces
+``jobs=1`` exactly while surviving task crashes, hangs and dead workers.
+
+* :mod:`repro.exec.work` — :class:`WorkUnit` identity and deterministic
+  :class:`ShardPlan` partitioning.
+* :mod:`repro.exec.engine` — :class:`CampaignEngine`, the runner itself.
+* :mod:`repro.exec.journal` — the JSONL run journal behind
+  checkpoint/resume.
+* :mod:`repro.exec.progress` — progress hooks and the campaign summary.
+"""
+
+from .engine import (
+    CampaignEngine,
+    CampaignExecutionError,
+    EnginePolicy,
+    ExecutionReport,
+    TaskError,
+    TaskRecord,
+    TaskTimeout,
+)
+from .journal import JournalState, RunJournal, load_journal
+from .progress import (
+    CampaignSummary,
+    ProgressEvent,
+    ProgressHook,
+    StderrReporter,
+)
+from .work import ShardPlan, WorkUnit, check_unique_keys, fingerprint
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignExecutionError",
+    "CampaignSummary",
+    "EnginePolicy",
+    "ExecutionReport",
+    "JournalState",
+    "ProgressEvent",
+    "ProgressHook",
+    "RunJournal",
+    "ShardPlan",
+    "StderrReporter",
+    "TaskError",
+    "TaskRecord",
+    "TaskTimeout",
+    "WorkUnit",
+    "check_unique_keys",
+    "fingerprint",
+    "load_journal",
+]

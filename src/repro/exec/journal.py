@@ -1,0 +1,159 @@
+"""JSONL run journal: the checkpoint/resume substrate of the engine.
+
+One line per event, appended and flushed as soon as each task settles, so
+a killed campaign loses at most the in-flight tasks:
+
+* a ``header`` line identifying the campaign (unit-set fingerprint, total
+  unit count, engine version) written when the file is created, and
+* one ``task`` line per settled task — ``{"kind": "task", "key": ...,
+  "status": "ok"|"error", "attempts": N, "elapsed_s": ..., "worker": ...,
+  "result": <encoded>}`` (``error``/``error_type`` replace ``result`` for
+  failures).
+
+:func:`load_journal` tolerates a truncated final line (the normal shape of
+a ``kill -9`` mid-write) and duplicate keys (last record wins), which is
+exactly what resume needs: re-running a campaign with ``resume=True``
+skips every key whose last journaled status is ``ok``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, Optional
+
+JOURNAL_VERSION = 1
+
+HEADER_KIND = "header"
+TASK_KIND = "task"
+
+
+@dataclass
+class JournalState:
+    """Parsed journal contents: the header plus the last record per key."""
+
+    header: Optional[Dict[str, Any]] = None
+    tasks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    corrupt_lines: int = 0
+
+    def completed_keys(self) -> "set[str]":
+        """Keys whose most recent journaled status is ``ok``."""
+        return {k for k, rec in self.tasks.items() if rec.get("status") == "ok"}
+
+
+def load_journal(path: "str | Path") -> JournalState:
+    """Parse a journal, skipping unparseable (e.g. truncated) lines."""
+    state = JournalState()
+    path = Path(path)
+    if not path.exists():
+        return state
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                state.corrupt_lines += 1
+                continue
+            if not isinstance(record, dict):
+                state.corrupt_lines += 1
+                continue
+            kind = record.get("kind")
+            if kind == HEADER_KIND:
+                state.header = record
+            elif kind == TASK_KIND and isinstance(record.get("key"), str):
+                state.tasks[record["key"]] = record
+            else:
+                state.corrupt_lines += 1
+    return state
+
+
+class RunJournal:
+    """Append-only JSONL writer with per-line flush.
+
+    Opened lazily on the first write so that constructing an engine with a
+    journal path has no filesystem effect until the campaign starts.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # A journal killed mid-write ends in a partial line with no
+            # newline; appending straight onto it would corrupt the first
+            # new record too.  Start on a fresh line instead.
+            needs_newline = False
+            if self.path.exists() and self.path.stat().st_size > 0:
+                with self.path.open("rb") as raw:
+                    raw.seek(-1, os.SEEK_END)
+                    needs_newline = raw.read(1) != b"\n"
+            self._fh = self.path.open("a", encoding="utf-8")
+            if needs_newline:
+                self._fh.write("\n")
+        return self._fh
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        fh = self._handle()
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+        try:
+            os.fsync(fh.fileno())
+        except OSError:  # e.g. a pipe; flush alone is the best we can do
+            pass
+
+    # ------------------------------------------------------------------
+    def write_header(self, campaign_fingerprint: str, total: int) -> None:
+        self._append(
+            {
+                "kind": HEADER_KIND,
+                "version": JOURNAL_VERSION,
+                "fingerprint": campaign_fingerprint,
+                "total": total,
+            }
+        )
+
+    def append_task(
+        self,
+        key: str,
+        status: str,
+        attempts: int,
+        elapsed_s: float,
+        worker: Optional[str] = None,
+        result: Any = None,
+        error: Optional[str] = None,
+        error_type: Optional[str] = None,
+    ) -> None:
+        record: Dict[str, Any] = {
+            "kind": TASK_KIND,
+            "key": key,
+            "status": status,
+            "attempts": attempts,
+            "elapsed_s": round(elapsed_s, 6),
+        }
+        if worker is not None:
+            record["worker"] = worker
+        if status == "ok":
+            record["result"] = result
+        else:
+            record["error"] = error
+            record["error_type"] = error_type
+        self._append(record)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -9,17 +9,21 @@
 """
 
 from .campaign import (
+    DEFAULT_SEEDS,
     CampaignOptions,
     RunOutcome,
     build_controller,
+    execute_suite,
     run_once,
     run_suite,
 )
 
 __all__ = [
+    "DEFAULT_SEEDS",
     "CampaignOptions",
     "RunOutcome",
     "build_controller",
+    "execute_suite",
     "run_once",
     "run_suite",
 ]

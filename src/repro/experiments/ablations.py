@@ -11,7 +11,7 @@
 
 Run as a script::
 
-    python -m repro.experiments.ablations [--seeds N] \
+    python -m repro.experiments.ablations [--seeds N] [--jobs N] \
         [--which all|recovery|horizon|planner|strategy]
 """
 
@@ -23,16 +23,21 @@ from typing import Dict, List, Optional, Sequence
 from ..analysis.aggregate import aggregate_suite
 from ..analysis.tables import render_table
 from ..sim.scenario import ScenarioType
-from .campaign import CampaignOptions, RunOutcome, run_suite
+from .campaign import DEFAULT_SEEDS, CampaignOptions, RunOutcome, run_suite
 from .table2 import SCENARIO_ORDER, _SCENARIO_LABELS
 
 
 def recovery_ablation(
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int = 1,
 ) -> str:
     """Table II's collision column with vs without the RecoveryPlanner."""
-    with_rec = run_suite(SCENARIO_ORDER, seeds, CampaignOptions(use_recovery=True))
-    without_rec = run_suite(SCENARIO_ORDER, seeds, CampaignOptions(use_recovery=False))
+    with_rec = run_suite(
+        SCENARIO_ORDER, seeds, CampaignOptions(use_recovery=True), jobs=jobs
+    )
+    without_rec = run_suite(
+        SCENARIO_ORDER, seeds, CampaignOptions(use_recovery=False), jobs=jobs
+    )
     agg_with = aggregate_suite(with_rec)
     agg_without = aggregate_suite(without_rec)
 
@@ -65,6 +70,7 @@ def horizon_ablation(
         ScenarioType.CONFLICTING,
         ScenarioType.SPOOF_ATTACK,
     ),
+    jobs: int = 1,
 ) -> str:
     """Monitor look-ahead sweep: flag rate vs collisions caught.
 
@@ -75,7 +81,7 @@ def horizon_ablation(
     rows = []
     for horizon in horizons:
         options = CampaignOptions(monitor_horizon_s=horizon)
-        results = run_suite(scenarios, seeds, options)
+        results = run_suite(scenarios, seeds, options, jobs=jobs)
         outcomes: List[RunOutcome] = [o for group in results.values() for o in group]
         n = len(outcomes)
         flagged = sum(1 for o in outcomes if o.monitor_flagged)
@@ -104,11 +110,16 @@ def horizon_ablation(
 
 
 def planner_ablation(
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int = 1,
 ) -> str:
     """Surrogate LLM vs rule-based baseline across all scenarios."""
-    llm = aggregate_suite(run_suite(SCENARIO_ORDER, seeds, CampaignOptions(planner="llm")))
-    rule = aggregate_suite(run_suite(SCENARIO_ORDER, seeds, CampaignOptions(planner="rule")))
+    llm = aggregate_suite(
+        run_suite(SCENARIO_ORDER, seeds, CampaignOptions(planner="llm"), jobs=jobs)
+    )
+    rule = aggregate_suite(
+        run_suite(SCENARIO_ORDER, seeds, CampaignOptions(planner="rule"), jobs=jobs)
+    )
 
     rows = []
     for scenario in SCENARIO_ORDER:
@@ -140,12 +151,13 @@ def planner_ablation(
 
 
 def recovery_strategy_ablation(
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
     scenarios: Sequence[ScenarioType] = (
         ScenarioType.CONFLICTING,
         ScenarioType.GHOST_ATTACK,
         ScenarioType.PEDESTRIAN,
     ),
+    jobs: int = 1,
 ) -> str:
     """Emergency brake vs graded replanning (SS V.D's future-work direction).
 
@@ -156,7 +168,7 @@ def recovery_strategy_ablation(
     rows = []
     for strategy in ("brake", "replan"):
         results = run_suite(
-            scenarios, seeds, CampaignOptions(recovery_strategy=strategy)
+            scenarios, seeds, CampaignOptions(recovery_strategy=strategy), jobs=jobs
         )
         outcomes: List[RunOutcome] = [o for group in results.values() for o in group]
         n = len(outcomes)
@@ -196,15 +208,16 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument(
         "--which", choices=["all", *sorted(_ABLATIONS)], default="all"
     )
+    parser.add_argument("--jobs", type=int, default=1)
     args = parser.parse_args(argv)
     seeds = tuple(range(args.seeds))
     names = sorted(_ABLATIONS) if args.which == "all" else [args.which]
     for name in names:
         fn = _ABLATIONS[name]
         if name in ("horizon", "strategy"):
-            print(fn(seeds=seeds[: max(5, len(seeds) * 2 // 3)]))
+            print(fn(seeds=seeds[: max(5, len(seeds) * 2 // 3)], jobs=args.jobs))
         else:
-            print(fn(seeds=seeds))
+            print(fn(seeds=seeds, jobs=args.jobs))
         print()
 
 

@@ -10,8 +10,10 @@ aggregate).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import (
     OrchestrationController,
@@ -19,6 +21,14 @@ from ..core import (
     RoleGraph,
 )
 from ..env.sim_interface import IntersectionSimInterface
+from ..exec import (
+    CampaignEngine,
+    EnginePolicy,
+    ExecutionReport,
+    ProgressHook,
+    WorkUnit,
+    fingerprint,
+)
 from ..llm.planner import LLMPlanner
 from ..llm.surrogate import SurrogateConfig
 from ..roles.fault_injector import FaultInjectorRole, FaultPipeline
@@ -28,6 +38,10 @@ from ..roles.recovery_planner import EmergencyBrakeRecovery, ReplanRecovery
 from ..roles.safety_monitor import GeometricSafetyMonitor
 from ..roles.security_assessor import ScriptedSecurityAssessor
 from ..sim.scenario import AttackKind, ScenarioSpec, ScenarioType, build_scenario
+
+#: The paper's per-scenario seed set (15 runs per scenario, §V).  Every
+#: experiment module shares this one definition.
+DEFAULT_SEEDS: Tuple[int, ...] = tuple(range(15))
 
 
 @dataclass(frozen=True)
@@ -177,19 +191,112 @@ def run_once(
     )
 
 
+def options_digest(options: Optional[CampaignOptions]) -> str:
+    """Stable digest of the run options, part of every journal key."""
+    return fingerprint(options or CampaignOptions())
+
+
+def unit_key(
+    scenario_type: ScenarioType, seed: int, options: Optional[CampaignOptions] = None
+) -> str:
+    """The journal/resume identity of one (scenario, seed, options) run."""
+    return f"{scenario_type.value}:{seed}:{options_digest(options)}"
+
+
+def campaign_unit(
+    scenario_type: ScenarioType, seed: int, options: Optional[CampaignOptions] = None
+) -> WorkUnit:
+    """One schedulable campaign run as an engine work unit."""
+    return WorkUnit(
+        key=unit_key(scenario_type, seed, options),
+        payload=(scenario_type.value, seed, options),
+    )
+
+
+def execute_campaign_unit(payload: "Tuple[str, int, Optional[CampaignOptions]]") -> RunOutcome:
+    """Engine worker entry: run one seeded scenario (module-level, picklable)."""
+    scenario_value, seed, options = payload
+    return run_once(ScenarioType(scenario_value), seed, options)
+
+
+def _encode_outcome(outcome: RunOutcome) -> Dict[str, object]:
+    return dataclasses.asdict(outcome)
+
+
+def _decode_outcome(data: Dict[str, object]) -> RunOutcome:
+    return RunOutcome(**data)
+
+
+def execute_suite(
+    scenario_types: Sequence[ScenarioType] = tuple(ScenarioType),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    options: Optional[CampaignOptions] = None,
+    *,
+    jobs: int = 1,
+    journal: "str | Path | None" = None,
+    resume: bool = False,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    progress: "ProgressHook | str | None" = "auto",
+) -> "Tuple[Dict[ScenarioType, List[RunOutcome]], ExecutionReport]":
+    """Run the campaign on the execution engine; return results + telemetry.
+
+    Every (scenario, seed) pair becomes one :class:`WorkUnit`; results come
+    back grouped per scenario in seed order, identical for any ``jobs``
+    value.  A failed task (after retries) raises
+    :class:`~repro.exec.CampaignExecutionError` once the campaign settles —
+    the engine never aborts mid-flight, so all other runs still complete
+    and journal.
+    """
+    units = [
+        campaign_unit(scenario_type, seed, options)
+        for scenario_type in scenario_types
+        for seed in seeds
+    ]
+    engine = CampaignEngine(
+        execute_campaign_unit,
+        EnginePolicy(jobs=jobs, timeout_s=timeout_s, max_retries=max_retries),
+        encode=_encode_outcome,
+        decode=_decode_outcome,
+        journal=journal,
+        resume=resume,
+        progress=progress,
+    )
+    report = engine.run(units).raise_on_error()
+    outcomes = report.results()
+    results: Dict[ScenarioType, List[RunOutcome]] = {}
+    cursor = 0
+    for scenario_type in scenario_types:
+        results[scenario_type] = outcomes[cursor : cursor + len(seeds)]
+        cursor += len(seeds)
+    return results, report
+
+
 def run_suite(
     scenario_types: Sequence[ScenarioType] = tuple(ScenarioType),
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
     options: Optional[CampaignOptions] = None,
+    *,
+    jobs: int = 1,
+    journal: "str | Path | None" = None,
+    resume: bool = False,
+    progress: "ProgressHook | str | None" = "auto",
 ) -> Dict[ScenarioType, List[RunOutcome]]:
     """Run the full campaign: every scenario across every seed.
 
     The paper's evaluation is 6 scenarios x 15 runs = 90 runs (§V); the
-    defaults reproduce that.
+    defaults reproduce that.  ``jobs`` fans the runs out over a process
+    pool (results are identical to serial), ``journal`` checkpoints every
+    settled run to a JSONL file, and ``resume`` replays a prior journal
+    so only missing runs execute.
     """
-    results: Dict[ScenarioType, List[RunOutcome]] = {}
-    for scenario_type in scenario_types:
-        results[scenario_type] = [
-            run_once(scenario_type, seed, options) for seed in seeds
-        ]
+    results, _ = execute_suite(
+        scenario_types,
+        seeds,
+        options,
+        jobs=jobs,
+        journal=journal,
+        resume=resume,
+        progress=progress,
+    )
     return results

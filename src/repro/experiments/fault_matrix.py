@@ -9,16 +9,19 @@ the framework with, extended to the whole library.
 
 Run as a script::
 
-    python -m repro.experiments.fault_matrix [--seeds N]
+    python -m repro.experiments.fault_matrix [--seeds N] [--jobs N] \
+        [--journal PATH] [--resume]
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.stats import MeanStd, Rate
 from ..analysis.tables import render_table
+from ..exec import CampaignEngine, EnginePolicy, WorkUnit
 from ..core import OrchestrationController, OrchestratorConfig, RoleGraph
 from ..core.role import Role, RoleContext, RoleKind, RoleResult, Verdict
 from ..env.sim_interface import IntersectionSimInterface
@@ -113,15 +116,44 @@ def _run(scenario: ScenarioType, seed: int, factory: Optional[Callable[[], Fault
     }
 
 
+def execute_cell(payload: "Tuple[str, int, str]") -> Dict[str, object]:
+    """Engine worker entry: one (scenario, seed, fault-label) run."""
+    scenario_value, seed, label = payload
+    return _run(ScenarioType(scenario_value), seed, FAULT_FACTORIES[label])
+
+
 def generate(
     seeds: Sequence[int] = tuple(range(8)),
     scenarios: Sequence[ScenarioType] = (ScenarioType.NOMINAL, ScenarioType.CONGESTED),
+    *,
+    jobs: int = 1,
+    journal: "str | Path | None" = None,
+    resume: bool = False,
 ) -> str:
     """Render the fault x scenario robustness matrix."""
+    units = [
+        WorkUnit(
+            key=f"{scenario.value}:{seed}:{label}",
+            payload=(scenario.value, seed, label),
+        )
+        for scenario in scenarios
+        for label in FAULT_FACTORIES
+        for seed in seeds
+    ]
+    engine = CampaignEngine(
+        execute_cell,
+        EnginePolicy(jobs=jobs),
+        journal=journal,
+        resume=resume,
+    )
+    cells = engine.run(units).raise_on_error().results()
+
     rows: List[List[str]] = []
+    cursor = 0
     for scenario in scenarios:
-        for label, factory in FAULT_FACTORIES.items():
-            outcomes = [_run(scenario, seed, factory) for seed in seeds]
+        for label in FAULT_FACTORIES:
+            outcomes = cells[cursor : cursor + len(seeds)]
+            cursor += len(seeds)
             n = len(outcomes)
             clearances = [o["clearance"] for o in outcomes if o["clearance"] is not None]
             rows.append(
@@ -151,8 +183,20 @@ def generate(
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seeds", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--journal", type=Path, default=None)
+    parser.add_argument("--resume", action="store_true")
     args = parser.parse_args(argv)
-    print(generate(seeds=tuple(range(args.seeds))))
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
+    print(
+        generate(
+            seeds=tuple(range(args.seeds)),
+            jobs=args.jobs,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    )
 
 
 if __name__ == "__main__":

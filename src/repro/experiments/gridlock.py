@@ -19,14 +19,14 @@ from typing import List, Optional, Sequence
 from ..analysis.stats import MeanStd, Rate
 from ..analysis.tables import render_table
 from ..sim.scenario import ScenarioType
-from .campaign import CampaignOptions, RunOutcome, run_once
+from .campaign import DEFAULT_SEEDS, CampaignOptions, RunOutcome, run_once
 
 #: Paper-reported gridlock rate under trajectory spoofing.
 PAPER_GRIDLOCK_RATE = 20.0
 
 
 def measure(
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
     options: Optional[CampaignOptions] = None,
 ) -> List[RunOutcome]:
     """Run the spoof-attack scenario across seeds."""
@@ -34,7 +34,7 @@ def measure(
 
 
 def generate(
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
     options: Optional[CampaignOptions] = None,
     outcomes: Optional[List[RunOutcome]] = None,
 ) -> str:

@@ -9,19 +9,30 @@ run is replayed with recovery disabled, and the four cells of the
 
 Run as a script::
 
-    python -m repro.experiments.recovery [--seeds N]
+    python -m repro.experiments.recovery [--seeds N] [--jobs N] \
+        [--journal PATH] [--resume]
 """
 
 from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.stats import Rate
 from ..analysis.tables import render_table
+from ..exec import CampaignEngine, EnginePolicy
 from ..sim.scenario import ScenarioType
-from .campaign import CampaignOptions, RunOutcome, run_once
+from .campaign import (
+    DEFAULT_SEEDS,
+    CampaignOptions,
+    RunOutcome,
+    _decode_outcome,
+    _encode_outcome,
+    campaign_unit,
+    execute_campaign_unit,
+)
 from .table2 import SCENARIO_ORDER, _SCENARIO_LABELS
 
 
@@ -56,47 +67,69 @@ class CounterfactualPair:
 
 def measure(
     scenarios: Sequence[ScenarioType] = SCENARIO_ORDER,
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
     options: Optional[CampaignOptions] = None,
+    *,
+    jobs: int = 1,
+    journal: "str | Path | None" = None,
+    resume: bool = False,
 ) -> List[CounterfactualPair]:
-    """Run every (scenario, seed) twice: with and without recovery."""
+    """Run every (scenario, seed) twice: with and without recovery.
+
+    Both passes go through one engine campaign: 2 x scenarios x seeds
+    work units, interleaved (with, without) so the pairs re-assemble by
+    position whatever order the pool finishes them in.
+    """
     base = options or CampaignOptions()
+    variants = tuple(
+        CampaignOptions(
+            use_recovery=use_recovery,
+            planner=base.planner,
+            surrogate_config=base.surrogate_config,
+            monitor_horizon_s=base.monitor_horizon_s,
+        )
+        for use_recovery in (True, False)
+    )
+    units = [
+        campaign_unit(scenario, seed, variant)
+        for scenario in scenarios
+        for seed in seeds
+        for variant in variants
+    ]
+    engine = CampaignEngine(
+        execute_campaign_unit,
+        EnginePolicy(jobs=jobs),
+        encode=_encode_outcome,
+        decode=_decode_outcome,
+        journal=journal,
+        resume=resume,
+    )
+    outcomes = engine.run(units).raise_on_error().results()
     pairs: List[CounterfactualPair] = []
+    cursor = 0
     for scenario in scenarios:
         for seed in seeds:
-            with_rec = run_once(
-                scenario,
-                seed,
-                CampaignOptions(
-                    use_recovery=True,
-                    planner=base.planner,
-                    surrogate_config=base.surrogate_config,
-                    monitor_horizon_s=base.monitor_horizon_s,
-                ),
-            )
-            without_rec = run_once(
-                scenario,
-                seed,
-                CampaignOptions(
-                    use_recovery=False,
-                    planner=base.planner,
-                    surrogate_config=base.surrogate_config,
-                    monitor_horizon_s=base.monitor_horizon_s,
-                ),
-            )
+            with_rec, without_rec = outcomes[cursor], outcomes[cursor + 1]
+            cursor += 2
             pairs.append(CounterfactualPair(scenario, seed, with_rec, without_rec))
     return pairs
 
 
 def generate(
     scenarios: Sequence[ScenarioType] = SCENARIO_ORDER,
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
     options: Optional[CampaignOptions] = None,
     pairs: Optional[List[CounterfactualPair]] = None,
+    *,
+    jobs: int = 1,
+    journal: "str | Path | None" = None,
+    resume: bool = False,
 ) -> str:
     """Render the recovery-effectiveness tables."""
     if pairs is None:
-        pairs = measure(scenarios, seeds, options)
+        pairs = measure(
+            scenarios, seeds, options, jobs=jobs, journal=journal, resume=resume
+        )
 
     per_scenario: Dict[ScenarioType, List[CounterfactualPair]] = {}
     for pair in pairs:
@@ -151,8 +184,20 @@ def generate(
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seeds", type=int, default=15)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--journal", type=Path, default=None)
+    parser.add_argument("--resume", action="store_true")
     args = parser.parse_args(argv)
-    print(generate(seeds=tuple(range(args.seeds))))
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
+    print(
+        generate(
+            seeds=tuple(range(args.seeds)),
+            jobs=args.jobs,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    )
 
 
 if __name__ == "__main__":

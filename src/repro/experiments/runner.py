@@ -1,34 +1,58 @@
 """One-shot evaluation runner: regenerate every table and figure.
 
-``python -m repro.experiments.runner [--seeds N] [--out DIR]`` executes the
-full campaign once and renders Table II, Fig. 4, the gridlock analysis and
-a summary — reusing the same 90 runs for everything, as the paper does.
-The recovery counterfactual (which needs a second, recovery-less pass) and
-the ablations have their own modules.
+``python -m repro.experiments.runner [--seeds N] [--out DIR] [--jobs N]
+[--journal PATH] [--resume]`` executes the full campaign once and renders
+Table II, Fig. 4, the gridlock analysis and a summary — reusing the same
+90 runs for everything, as the paper does.  ``--jobs`` fans the runs out
+over the :mod:`repro.exec` process pool (the report is identical to a
+serial run), ``--journal`` checkpoints each finished run to a JSONL file
+and ``--resume`` restarts an interrupted campaign from it, executing only
+the missing runs.  The recovery counterfactual (which needs a second,
+recovery-less pass) and the ablations have their own modules.
 """
 
 from __future__ import annotations
 
 import argparse
-import time
+import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from ..analysis.aggregate import aggregate_suite
 from ..analysis.tables import render_table
+from ..exec import ExecutionReport
 from ..sim.scenario import ScenarioType
 from . import fig4, gridlock, table2
-from .campaign import CampaignOptions, run_suite
+from .campaign import DEFAULT_SEEDS, CampaignOptions, execute_suite
 
 
 def run_evaluation(
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
     options: Optional[CampaignOptions] = None,
     out_dir: Optional[Path] = None,
+    *,
+    jobs: int = 1,
+    journal: "str | Path | None" = None,
+    resume: bool = False,
+    execution: "Optional[list] | None" = None,
 ) -> str:
-    """Run the campaign once and render all per-campaign artifacts."""
-    started = time.perf_counter()
-    results = run_suite(table2.SCENARIO_ORDER, seeds, options)
+    """Run the campaign once and render all per-campaign artifacts.
+
+    The report is deterministic (identical for any ``jobs`` value and
+    across reruns of the same seeds); wall-clock and worker telemetry
+    live in the :class:`~repro.exec.ExecutionReport`, appended to the
+    ``execution`` list when one is supplied.
+    """
+    results, exec_report = execute_suite(
+        table2.SCENARIO_ORDER,
+        seeds,
+        options,
+        jobs=jobs,
+        journal=journal,
+        resume=resume,
+    )
+    if execution is not None:
+        execution.append(exec_report)
     aggregates = aggregate_suite(results)
 
     sections = [
@@ -62,10 +86,8 @@ def run_evaluation(
             title="Per-run averages",
         )
     )
-    elapsed = time.perf_counter() - started
     sections.append(
-        f"campaign: {len(seeds)} seeds x {len(table2.SCENARIO_ORDER)} scenarios, "
-        f"{elapsed:.1f} s wall time"
+        f"campaign: {len(seeds)} seeds x {len(table2.SCENARIO_ORDER)} scenarios"
     )
     report = "\n\n".join(sections)
 
@@ -79,8 +101,33 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seeds", type=int, default=15)
     parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    parser.add_argument(
+        "--journal", type=Path, default=None, help="JSONL run journal path"
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay finished runs from --journal; execute only missing ones",
+    )
     args = parser.parse_args(argv)
-    print(run_evaluation(seeds=tuple(range(args.seeds)), out_dir=args.out))
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
+
+    execution: "list[ExecutionReport]" = []
+    report = run_evaluation(
+        seeds=tuple(range(args.seeds)),
+        out_dir=args.out,
+        jobs=args.jobs,
+        journal=args.journal,
+        resume=args.resume,
+        execution=execution,
+    )
+    print(report)
+    if execution:
+        print(execution[-1].summary.render(), file=sys.stderr)
 
 
 if __name__ == "__main__":

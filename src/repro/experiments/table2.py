@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from ..analysis.aggregate import aggregate_suite, overall_average
 from ..analysis.tables import render_table
 from ..sim.scenario import ScenarioType
-from .campaign import CampaignOptions, RunOutcome, run_suite
+from .campaign import DEFAULT_SEEDS, CampaignOptions, RunOutcome, run_suite
 
 #: Paper-reported Table II values: (monitor flag %, collision %).
 PAPER_TABLE2: Dict[ScenarioType, "tuple[float, float]"] = {
@@ -52,7 +52,7 @@ _SCENARIO_LABELS: Dict[ScenarioType, str] = {
 
 
 def generate(
-    seeds: Sequence[int] = tuple(range(15)),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
     options: Optional[CampaignOptions] = None,
     results: Optional[Dict[ScenarioType, List[RunOutcome]]] = None,
 ) -> str:

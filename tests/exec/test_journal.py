@@ -1,0 +1,80 @@
+"""Tests for the JSONL run journal: append, load, truncation tolerance."""
+
+import json
+
+from repro.exec import RunJournal, load_journal
+
+
+class TestRoundTrip:
+    def test_header_and_tasks(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.write_header("abc123", total=3)
+            journal.append_task("k1", "ok", attempts=1, elapsed_s=0.5,
+                                worker="pid7", result={"x": 1})
+            journal.append_task("k2", "error", attempts=3, elapsed_s=0.1,
+                                error="boom", error_type="RuntimeError")
+
+        state = load_journal(path)
+        assert state.header["fingerprint"] == "abc123"
+        assert state.header["total"] == 3
+        assert state.tasks["k1"]["result"] == {"x": 1}
+        assert state.tasks["k2"]["error_type"] == "RuntimeError"
+        assert state.completed_keys() == {"k1"}
+        assert state.corrupt_lines == 0
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = load_journal(tmp_path / "absent.jsonl")
+        assert state.header is None
+        assert state.tasks == {}
+
+    def test_last_record_per_key_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.append_task("k", "error", attempts=1, elapsed_s=0.0,
+                                error="x", error_type="E")
+            journal.append_task("k", "ok", attempts=2, elapsed_s=0.2, result=7)
+        state = load_journal(path)
+        assert state.tasks["k"]["status"] == "ok"
+        assert state.completed_keys() == {"k"}
+
+
+class TestTruncationTolerance:
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.write_header("fp", total=2)
+            journal.append_task("k1", "ok", attempts=1, elapsed_s=0.1, result=1)
+            journal.append_task("k2", "ok", attempts=1, elapsed_s=0.1, result=2)
+        # Simulate a kill -9 mid-write: chop the file mid-final-line.
+        raw = path.read_text()
+        path.write_text(raw[: raw.rindex('"result"') + 4])
+
+        state = load_journal(path)
+        assert state.completed_keys() == {"k1"}
+        assert state.corrupt_lines == 1
+
+    def test_garbage_lines_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    "not json at all",
+                    json.dumps({"kind": "task", "key": "good", "status": "ok"}),
+                    json.dumps(["a", "list"]),
+                    json.dumps({"kind": "mystery"}),
+                ]
+            )
+        )
+        state = load_journal(path)
+        assert state.completed_keys() == {"good"}
+        assert state.corrupt_lines == 3
+
+    def test_append_resumes_existing_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.write_header("fp", total=2)
+            journal.append_task("k1", "ok", attempts=1, elapsed_s=0.1, result=1)
+        with RunJournal(path) as journal:
+            journal.append_task("k2", "ok", attempts=1, elapsed_s=0.1, result=2)
+        assert load_journal(path).completed_keys() == {"k1", "k2"}

@@ -1,0 +1,71 @@
+"""Tests for WorkUnit identity and deterministic sharding."""
+
+import pytest
+
+from repro.exec import ShardPlan, WorkUnit, check_unique_keys, fingerprint
+
+
+def units(n):
+    return [WorkUnit(key=f"scenario:{i}", payload=i) for i in range(n)]
+
+
+class TestWorkUnit:
+    def test_requires_key(self):
+        with pytest.raises(ValueError):
+            WorkUnit(key="")
+
+    def test_duplicate_keys_rejected(self):
+        us = units(3) + [WorkUnit(key="scenario:1")]
+        with pytest.raises(ValueError, match="duplicate"):
+            check_unique_keys(us)
+
+    def test_unique_keys_pass(self):
+        check_unique_keys(units(10))
+
+
+class TestFingerprint:
+    def test_stable_and_repr_based(self):
+        assert fingerprint((1, 2, "x")) == fingerprint((1, 2, "x"))
+        assert fingerprint((1, 2)) != fingerprint((2, 1))
+
+    def test_length(self):
+        assert len(fingerprint("abc", length=8)) == 8
+
+
+class TestShardPlan:
+    def test_partition_is_disjoint_cover(self):
+        us = units(97)
+        parts = ShardPlan(shards=4).partition(us)
+        assert len(parts) == 4
+        recombined = [u for part in parts for u in part]
+        assert sorted(u.key for u in recombined) == sorted(u.key for u in us)
+        seen = set()
+        for part in parts:
+            keys = {u.key for u in part}
+            assert not keys & seen
+            seen |= keys
+
+    def test_assignment_independent_of_order(self):
+        us = units(50)
+        plan = ShardPlan(shards=3)
+        forward = plan.partition(us)
+        backward = plan.partition(list(reversed(us)))
+        for i in range(3):
+            assert {u.key for u in forward[i]} == {u.key for u in backward[i]}
+
+    def test_select_matches_partition(self):
+        us = units(40)
+        plan = ShardPlan(shards=5)
+        parts = plan.partition(us)
+        for i in range(5):
+            assert plan.select(us, i) == parts[i]
+
+    def test_single_shard_is_identity(self):
+        us = units(7)
+        assert ShardPlan(shards=1).select(us, 0) == us
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(shards=0)
+        with pytest.raises(ValueError):
+            ShardPlan(shards=2).select(units(3), 2)
