@@ -30,6 +30,10 @@ class OrchestratorConfig:
             error propagates as :class:`~repro.core.errors.RoleExecutionError`.
         history_limit: StateManager history bound (iterations).
         keep_event_log: retain the full event trail (memory vs evidence).
+        event_log_limit: optional ring-buffer cap on the retained event
+            log; older events are dropped (and counted) past the cap.
+            ``None`` keeps the log unbounded, which all-iteration evidence
+            extraction (tests, reports) relies on.
         role_config: free-form per-role settings, surfaced verbatim via
             ``RoleContext.config``.
     """
@@ -39,6 +43,7 @@ class OrchestratorConfig:
     continue_on_role_error: bool = False
     history_limit: Optional[int] = 2000
     keep_event_log: bool = True
+    event_log_limit: Optional[int] = None
     role_config: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -49,4 +54,8 @@ class OrchestratorConfig:
         if self.history_limit is not None and self.history_limit <= 0:
             raise ConfigurationError(
                 f"history_limit must be positive or None, got {self.history_limit}"
+            )
+        if self.event_log_limit is not None and self.event_log_limit <= 0:
+            raise ConfigurationError(
+                f"event_log_limit must be positive or None, got {self.event_log_limit}"
             )

@@ -11,8 +11,9 @@ deterministic and the evidence trail replayable, a prerequisite for the
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 
 class EventKind(enum.Enum):
@@ -62,12 +63,24 @@ class EventBus:
     Subscribers are invoked in registration order.  A subscriber raising is
     a programming error in the subscriber and propagates — the assurance
     loop must not silently lose evidence.
+
+    Args:
+        keep_log: retain published events in :attr:`log`.
+        max_log: optional cap on the retained log.  When set, the log has
+            ring-buffer semantics — the oldest events are dropped as new
+            ones arrive and :attr:`dropped_events` counts the casualties —
+            so unbounded campaign runs with ``keep_log=True`` hold memory
+            constant.  Default ``None`` keeps the log unbounded.
     """
 
-    def __init__(self, keep_log: bool = True) -> None:
+    def __init__(self, keep_log: bool = True, max_log: Optional[int] = None) -> None:
+        if max_log is not None and max_log <= 0:
+            raise ValueError(f"max_log must be positive or None, got {max_log}")
         self._subscribers: List[Subscriber] = []
-        self._log: List[Event] = []
+        self._log: Deque[Event] = deque(maxlen=max_log)
         self._keep_log = keep_log
+        self._max_log = max_log
+        self.dropped_events = 0
 
     def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
         """Register ``subscriber``; returns an unsubscribe callable."""
@@ -84,6 +97,8 @@ class EventBus:
     def publish(self, event: Event) -> None:
         """Deliver ``event`` to all subscribers and append it to the log."""
         if self._keep_log:
+            if self._max_log is not None and len(self._log) == self._max_log:
+                self.dropped_events += 1
             self._log.append(event)
         for subscriber in list(self._subscribers):
             subscriber(event)
@@ -100,3 +115,4 @@ class EventBus:
     def clear(self) -> None:
         """Drop the accumulated log (subscribers stay registered)."""
         self._log.clear()
+        self.dropped_events = 0

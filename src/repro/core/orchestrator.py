@@ -88,7 +88,15 @@ class OrchestrationController:
         self.environment = environment
         self.state = StateManager(history_limit=self.config.history_limit)
         self.metrics = DependabilityMetrics()
-        self.events = EventBus(keep_log=self.config.keep_event_log)
+        self.events = EventBus(
+            keep_log=self.config.keep_event_log,
+            max_log=self.config.event_log_limit,
+        )
+        #: Optional tracing hook, installed by
+        #: :meth:`repro.obs.trace.TraceRecorder.attach`.  ``None`` (the
+        #: default) keeps tracing zero-cost: the hot path pays one
+        #: ``is not None`` check per role execution and nothing else.
+        self.tracer: Optional[Any] = None
         self._order = self.graph.execution_order()
         if not any(s.role.kind is RoleKind.GENERATOR for s in self._order):
             raise ConfigurationError(
@@ -197,6 +205,7 @@ class OrchestrationController:
             return False
 
         role = scheduled.role
+        faults_before = len(self.metrics.faults)
         started = wall_clock.perf_counter()
         try:
             result = role.execute(context)
@@ -205,6 +214,12 @@ class OrchestrationController:
                 raise RoleExecutionError(role.name, exc) from exc
             self.metrics.record_violation(
                 "role_error", role.name, iteration, self.environment.time, detail=repr(exc)
+            )
+            self._publish(
+                EventKind.VIOLATION_DETECTED,
+                iteration,
+                role=role.name,
+                payload={"category": "role_error", "detail": repr(exc)},
             )
             result = RoleResult(verdict=Verdict.WARNING, narrative=f"role error: {exc!r}")
         elapsed = wall_clock.perf_counter() - started
@@ -218,11 +233,26 @@ class OrchestrationController:
         self.state.record_output(result)
         for score_name, value in result.scores.items():
             self.metrics.record_score(f"{role.name}.{score_name}", self.environment.time, value)
+        if len(self.metrics.faults) != faults_before:
+            # Roles record injections straight into the metrics; mirror
+            # them onto the bus so the evidence trail (and any trace) is
+            # complete without a metrics cross-reference.
+            for record in self.metrics.faults[faults_before:]:
+                self._publish(
+                    EventKind.FAULT_INJECTED,
+                    iteration,
+                    role=role.name,
+                    payload={"fault": record.kind, "detail": record.detail},
+                )
+        if self.tracer is not None:
+            self.tracer.record_role_span(
+                role.name, iteration, elapsed, result.verdict.value
+            )
         self._publish(
             EventKind.ROLE_EXECUTED,
             iteration,
             role=role.name,
-            payload={"verdict": result.verdict.value},
+            payload={"verdict": result.verdict.value, "elapsed_s": elapsed},
         )
 
         if result.verdict.is_violation:

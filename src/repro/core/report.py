@@ -8,11 +8,14 @@ promises (§I).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from .events import EventBus, EventKind
 from .metrics import DependabilityMetrics
 from .orchestrator import OrchestrationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime obs import)
+    from ..obs.telemetry import TelemetryRegistry
 
 
 def _heading(title: str) -> List[str]:
@@ -23,8 +26,14 @@ def build_report(
     result: OrchestrationResult,
     events: Optional[EventBus] = None,
     title: str = "DURA-CPS assurance report",
+    telemetry: "Optional[TelemetryRegistry]" = None,
 ) -> str:
-    """Render a human-readable assurance report for one run."""
+    """Render a human-readable assurance report for one run.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.TelemetryRegistry`,
+    e.g. a :class:`~repro.obs.trace.TraceRecorder`'s) appends a telemetry
+    digest section — counters, gauges and latency histograms.
+    """
     metrics = result.metrics
     lines: List[str] = [title, "=" * len(title), ""]
 
@@ -96,6 +105,11 @@ def build_report(
             )
     lines.append("")
 
+    if telemetry is not None:
+        lines += _heading("Telemetry digest")
+        lines.extend(telemetry.render_lines())
+        lines.append("")
+
     if events is not None:
         lines += _heading("Evidence trail (violations & recoveries)")
         notable = [
@@ -128,11 +142,13 @@ def metrics_digest(metrics: DependabilityMetrics) -> str:
 def build_markdown_report(
     result: OrchestrationResult,
     title: str = "DURA-CPS assurance report",
+    telemetry: "Optional[TelemetryRegistry]" = None,
 ) -> str:
     """Render a run summary as Markdown (CI artifacts, PR comments).
 
     A compact companion to :func:`build_report`: outcome header, violation
     table and recovery/fault counts, without the full evidence trail.
+    ``telemetry`` appends a digest section mirroring :func:`build_report`.
     """
     metrics = result.metrics
     lines: List[str] = [f"# {title}", ""]
@@ -177,4 +193,12 @@ def build_markdown_report(
         prevented = sum(1 for o in outcomes if o)
         lines.append(f"- Collision-free after activation: **{prevented}/{len(outcomes)}**")
     lines.append("")
+
+    if telemetry is not None:
+        lines.append("## Telemetry digest")
+        lines.append("")
+        lines.append("```")
+        lines.extend(telemetry.render_lines())
+        lines.append("```")
+        lines.append("")
     return "\n".join(lines)

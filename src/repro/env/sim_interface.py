@@ -8,6 +8,7 @@ every perception snapshot, and steps simulated time.
 
 from __future__ import annotations
 
+import logging
 import math
 import random
 from typing import Any, Dict, Optional
@@ -20,6 +21,8 @@ from ..sim.perception import ObjectKind, PerceptionSnapshot, perceive
 from ..sim.scenario import ScenarioSpec
 from ..sim.world import World
 from .interface import EnvironmentInterface
+
+logger = logging.getLogger(__name__)
 
 
 class IntersectionSimInterface(EnvironmentInterface):
@@ -85,6 +88,9 @@ class IntersectionSimInterface(EnvironmentInterface):
     # EnvironmentInterface contract
     # ------------------------------------------------------------------
     def reset(self) -> None:
+        logger.debug(
+            "reset: scenario %s seed %d", self.spec.name, self.spec.seed
+        )
         self.world = World(self.spec)
         self.pipeline.reset(seed=self.spec.seed)
         self._noise_rng = random.Random(self.spec.seed * 65537 + 7)

@@ -26,6 +26,7 @@ unit's payload; with a journal, its results must round-trip through the
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import signal
@@ -37,6 +38,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.telemetry import TelemetryRegistry
+from ..obs.trace import EngineTracer
 from .journal import RunJournal, load_journal
 from .progress import (
     CAMPAIGN_FINISHED,
@@ -128,6 +131,8 @@ class ExecutionReport:
 
     records: List[TaskRecord]
     summary: CampaignSummary
+    #: Engine telemetry registry — populated only for traced campaigns.
+    telemetry: Optional[TelemetryRegistry] = None
 
     def record_map(self) -> Dict[str, TaskRecord]:
         return {r.key: r for r in self.records}
@@ -204,6 +209,11 @@ class CampaignEngine:
         resume: replay journaled successes instead of re-running them.
         progress: a ``ProgressHook``, ``None`` to silence, or ``"auto"``
             (default) for a stderr ticker when stderr is a terminal.
+        trace: campaign trace directory; when set, an
+            :class:`~repro.obs.trace.EngineTracer` records dispatch/settle
+            spans to ``<trace>/engine.trace.jsonl`` and writes a
+            deterministic ``manifest.json`` merging per-unit run traces at
+            campaign end.  ``None`` (default) writes nothing.
     """
 
     def __init__(
@@ -216,6 +226,7 @@ class CampaignEngine:
         journal: "str | Path | None" = None,
         resume: bool = False,
         progress: "ProgressHook | str | None" = "auto",
+        trace: "str | Path | None" = None,
     ) -> None:
         self.fn = fn
         self.policy = policy or EnginePolicy()
@@ -223,6 +234,8 @@ class CampaignEngine:
         self.decode = decode or (lambda value: value)
         self.journal_path = Path(journal) if journal is not None else None
         self.resume = resume
+        self.trace_dir = Path(trace) if trace is not None else None
+        self._tracer: Optional[EngineTracer] = None
         self.progress: Optional[ProgressHook]
         if progress == "auto":
             self.progress = default_progress_hook()
@@ -242,11 +255,23 @@ class CampaignEngine:
             jobs=self.policy.jobs if use_pool else 1,
             mode="process-pool" if use_pool else "serial",
         )
+        if self.trace_dir is not None:
+            self._tracer = EngineTracer(self.trace_dir)
+            self._tracer.campaign_started(len(units), summary.jobs, summary.mode)
         self._emit(ProgressEvent(kind=CAMPAIGN_STARTED, total=len(units)))
 
         journal = self._open_journal(units, records)
         summary.cached = len(records)
         for record in records.values():
+            if self._tracer is not None:
+                self._tracer.task_settled(
+                    record.key,
+                    record.status,
+                    record.attempts,
+                    record.elapsed_s,
+                    record.worker,
+                    record.cached,
+                )
             self._emit_finished(record, len(records), len(units), started)
         pending = [u for u in units if u.key not in records]
 
@@ -270,8 +295,17 @@ class CampaignEngine:
                 wall_s=summary.wall_time_s,
             )
         )
+        telemetry: Optional[TelemetryRegistry] = None
+        if self._tracer is not None:
+            self._tracer.campaign_finished(
+                dataclasses.asdict(summary), [u.key for u in units]
+            )
+            telemetry = self._tracer.telemetry
+            self._tracer = None
         return ExecutionReport(
-            records=[records[u.key] for u in units], summary=summary
+            records=[records[u.key] for u in units],
+            summary=summary,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -332,6 +366,15 @@ class CampaignEngine:
                     + record.elapsed_s
                 )
             summary.busy_time_s += record.elapsed_s
+            if self._tracer is not None:
+                self._tracer.task_settled(
+                    record.key,
+                    record.status,
+                    record.attempts,
+                    record.elapsed_s,
+                    record.worker,
+                    record.cached,
+                )
             if journal is not None:
                 if record.ok:
                     journal.append_task(
@@ -357,6 +400,8 @@ class CampaignEngine:
         return settle
 
     def _emit(self, event: ProgressEvent) -> None:
+        if self._tracer is not None and event.kind == TASK_RETRY:
+            self._tracer.task_retry(event.key or "?", event.attempts)
         if self.progress is not None:
             self.progress(event)
 

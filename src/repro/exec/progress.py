@@ -48,15 +48,30 @@ ProgressHook = Callable[[ProgressEvent], None]
 
 
 class StderrReporter:
-    """Live one-line progress ticker: ``done/total, runs/s, ETA``.
+    """Live progress ticker: ``done/total, runs/s, ETA``.
 
     Rate and ETA are computed over *executed* tasks only — journal replays
     settle instantly and would otherwise wildly inflate the estimate.
+
+    On a terminal this is a single carriage-return-rewritten line.  On a
+    non-TTY stream (piped logs, CI) ``\\r`` would smear into one unreadable
+    mega-line, so the reporter falls back to whole ``\\n``-terminated lines
+    at a much coarser interval (``non_tty_interval_s``, default 5 s) plus a
+    final summary line — line-buffered, rate-limited, grep-friendly.
     """
 
-    def __init__(self, stream=None, min_interval_s: float = 0.2) -> None:
+    def __init__(
+        self,
+        stream=None,
+        min_interval_s: float = 0.2,
+        non_tty_interval_s: float = 5.0,
+    ) -> None:
         self.stream = stream if stream is not None else sys.stderr
-        self.min_interval_s = min_interval_s
+        try:
+            self.is_tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError):
+            self.is_tty = False
+        self.min_interval_s = min_interval_s if self.is_tty else non_tty_interval_s
         self._last_print = 0.0
         self._executed = 0
 
@@ -64,7 +79,13 @@ class StderrReporter:
         if event.kind == TASK_FINISHED and not event.cached:
             self._executed += 1
         if event.kind == CAMPAIGN_FINISHED:
-            self.stream.write("\n")
+            if self.is_tty:
+                self.stream.write("\n")
+            else:
+                self.stream.write(
+                    f"[exec] finished {event.done}/{event.total} runs"
+                    f" in {event.wall_s:.1f} s\n"
+                )
             self.stream.flush()
             return
         if event.kind != TASK_FINISHED:
@@ -77,10 +98,11 @@ class StderrReporter:
         rate = self._executed / event.wall_s if event.wall_s > 0 else 0.0
         remaining = event.total - event.done
         eta = f"{remaining / rate:5.0f} s" if rate > 0 else "    ? s"
-        self.stream.write(
-            f"\r[exec] {event.done}/{event.total} runs"
+        line = (
+            f"[exec] {event.done}/{event.total} runs"
             f"  {rate:5.2f} runs/s  eta {eta}"
         )
+        self.stream.write(f"\r{line}" if self.is_tty else f"{line}\n")
         self.stream.flush()
 
 

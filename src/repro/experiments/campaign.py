@@ -31,6 +31,7 @@ from ..exec import (
 )
 from ..llm.planner import LLMPlanner
 from ..llm.surrogate import SurrogateConfig
+from ..obs.trace import TraceRecorder, unit_trace_path
 from ..roles.fault_injector import FaultInjectorRole, FaultPipeline
 from ..roles.generator import LLMGeneratorRole, RuleBasedPlannerRole
 from ..roles.performance_oracle import IntersectionPerformanceOracle
@@ -84,6 +85,9 @@ class RunOutcome:
     performance_flags: int
     iterations: int
     wall_time_s: float
+    #: Path of the run's trace file, when the run was traced (defaulted so
+    #: journals written before tracing existed still decode).
+    trace_file: Optional[str] = None
 
     @property
     def cleared(self) -> bool:
@@ -160,11 +164,31 @@ def run_once(
     scenario_type: ScenarioType,
     seed: int,
     options: Optional[CampaignOptions] = None,
+    *,
+    trace: "str | Path | None" = None,
+    trace_id: Optional[str] = None,
 ) -> RunOutcome:
-    """Run one seeded scenario through the full assurance loop."""
+    """Run one seeded scenario through the full assurance loop.
+
+    ``trace`` names a file to record the run into (schema-v1 JSONL, see
+    :mod:`repro.obs.trace`); ``trace_id`` labels it (defaults to
+    ``"<scenario>:<seed>"``).  Without ``trace`` nothing is recorded.
+    """
     spec = build_scenario(scenario_type, seed)
     controller = build_controller(spec, options)
-    result = controller.run()
+    recorder: Optional[TraceRecorder] = None
+    if trace is not None:
+        recorder = TraceRecorder(
+            trace,
+            trace_id=trace_id or f"{scenario_type.value}:{seed}",
+            meta={"scenario": scenario_type.value, "seed": seed},
+        ).attach(controller)
+    try:
+        result = controller.run()
+    except BaseException:
+        if recorder is not None:  # pragma: no cover - crash still yields a trace
+            recorder.finalize()
+        raise
 
     metrics = result.metrics
     safety_flags = [
@@ -172,6 +196,9 @@ def run_once(
     ]
     info = result.environment_info
     metrics.mark_recovery_outcomes(prevented_collision=not info["collision"])
+    trace_file: Optional[str] = None
+    if recorder is not None:
+        trace_file = str(recorder.finalize(metrics))
 
     return RunOutcome(
         scenario=scenario_type.value,
@@ -188,6 +215,7 @@ def run_once(
         performance_flags=len(metrics.violations_of("performance")),
         iterations=result.iterations,
         wall_time_s=result.wall_time_s,
+        trace_file=trace_file,
     )
 
 
@@ -204,19 +232,39 @@ def unit_key(
 
 
 def campaign_unit(
-    scenario_type: ScenarioType, seed: int, options: Optional[CampaignOptions] = None
+    scenario_type: ScenarioType,
+    seed: int,
+    options: Optional[CampaignOptions] = None,
+    trace_dir: "str | Path | None" = None,
 ) -> WorkUnit:
-    """One schedulable campaign run as an engine work unit."""
-    return WorkUnit(
-        key=unit_key(scenario_type, seed, options),
-        payload=(scenario_type.value, seed, options),
-    )
+    """One schedulable campaign run as an engine work unit.
+
+    With ``trace_dir`` the payload carries the campaign trace directory;
+    the worker derives its own per-unit trace path from the unit key, so
+    the file layout is identical for any job count.
+    """
+    key = unit_key(scenario_type, seed, options)
+    payload: Tuple = (scenario_type.value, seed, options)
+    if trace_dir is not None:
+        payload = payload + (str(trace_dir),)
+    return WorkUnit(key=key, payload=payload)
 
 
-def execute_campaign_unit(payload: "Tuple[str, int, Optional[CampaignOptions]]") -> RunOutcome:
-    """Engine worker entry: run one seeded scenario (module-level, picklable)."""
-    scenario_value, seed, options = payload
-    return run_once(ScenarioType(scenario_value), seed, options)
+def execute_campaign_unit(payload: "Tuple") -> RunOutcome:
+    """Engine worker entry: run one seeded scenario (module-level, picklable).
+
+    Accepts the historical 3-tuple ``(scenario, seed, options)`` and the
+    traced 4-tuple with a trailing campaign trace directory.
+    """
+    scenario_value, seed, options = payload[:3]
+    trace_dir = payload[3] if len(payload) > 3 else None
+    scenario_type = ScenarioType(scenario_value)
+    trace: Optional[Path] = None
+    trace_id: Optional[str] = None
+    if trace_dir is not None:
+        trace_id = unit_key(scenario_type, seed, options)
+        trace = unit_trace_path(trace_dir, trace_id)
+    return run_once(scenario_type, seed, options, trace=trace, trace_id=trace_id)
 
 
 def _encode_outcome(outcome: RunOutcome) -> Dict[str, object]:
@@ -238,6 +286,7 @@ def execute_suite(
     timeout_s: Optional[float] = None,
     max_retries: int = 2,
     progress: "ProgressHook | str | None" = "auto",
+    trace: "str | Path | None" = None,
 ) -> "Tuple[Dict[ScenarioType, List[RunOutcome]], ExecutionReport]":
     """Run the campaign on the execution engine; return results + telemetry.
 
@@ -247,9 +296,15 @@ def execute_suite(
     :class:`~repro.exec.CampaignExecutionError` once the campaign settles —
     the engine never aborts mid-flight, so all other runs still complete
     and journal.
+
+    ``trace`` names a campaign trace directory: each run writes a
+    schema-v1 trace under ``<trace>/units/``, the engine records dispatch
+    telemetry to ``<trace>/engine.trace.jsonl``, and a deterministic
+    ``<trace>/manifest.json`` merges them (``python -m repro.obs
+    summarize <trace>`` reads the lot).
     """
     units = [
-        campaign_unit(scenario_type, seed, options)
+        campaign_unit(scenario_type, seed, options, trace_dir=trace)
         for scenario_type in scenario_types
         for seed in seeds
     ]
@@ -261,6 +316,7 @@ def execute_suite(
         journal=journal,
         resume=resume,
         progress=progress,
+        trace=trace,
     )
     report = engine.run(units).raise_on_error()
     outcomes = report.results()
@@ -281,14 +337,16 @@ def run_suite(
     journal: "str | Path | None" = None,
     resume: bool = False,
     progress: "ProgressHook | str | None" = "auto",
+    trace: "str | Path | None" = None,
 ) -> Dict[ScenarioType, List[RunOutcome]]:
     """Run the full campaign: every scenario across every seed.
 
     The paper's evaluation is 6 scenarios x 15 runs = 90 runs (§V); the
     defaults reproduce that.  ``jobs`` fans the runs out over a process
     pool (results are identical to serial), ``journal`` checkpoints every
-    settled run to a JSONL file, and ``resume`` replays a prior journal
-    so only missing runs execute.
+    settled run to a JSONL file, ``resume`` replays a prior journal so
+    only missing runs execute, and ``trace`` records the campaign into a
+    trace directory (see :func:`execute_suite`).
     """
     results, _ = execute_suite(
         scenario_types,
@@ -298,5 +356,61 @@ def run_suite(
         journal=journal,
         resume=resume,
         progress=progress,
+        trace=trace,
     )
     return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI: run the use-case campaign and print per-scenario digests.
+
+    ``python -m repro.experiments.campaign [--seeds N] [--jobs N]
+    [--journal PATH] [--resume] [--trace DIR]``
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=15)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--journal", type=Path, default=None)
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="DIR",
+        help="record schema-v1 traces for every run into DIR",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="repro.* logger level (stderr)",
+    )
+    args = parser.parse_args(argv)
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
+    from ..obs import configure_logging
+
+    configure_logging(args.log_level)
+
+    results, report = execute_suite(
+        seeds=tuple(range(args.seeds)),
+        jobs=args.jobs,
+        journal=args.journal,
+        resume=args.resume,
+        trace=args.trace,
+    )
+    for scenario_type, outcomes in results.items():
+        collisions = sum(o.collision for o in outcomes)
+        flagged = sum(o.monitor_flagged for o in outcomes)
+        recoveries = sum(o.recovery_activations for o in outcomes)
+        print(
+            f"{scenario_type.value:<20} runs={len(outcomes)} "
+            f"flagged={flagged} collisions={collisions} recoveries={recoveries}"
+        )
+    print(report.summary.render(), file=sys.stderr)
+    if args.trace is not None:
+        print(f"traces written to {args.trace}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

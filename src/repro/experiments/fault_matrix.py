@@ -37,6 +37,7 @@ from ..roles.fault_injector import (
     SensorNoiseFault,
     TrajectorySpoofFault,
 )
+from ..obs.trace import TraceRecorder, unit_trace_path
 from ..roles.generator import LLMGeneratorRole
 from ..roles.performance_oracle import IntersectionPerformanceOracle
 from ..roles.recovery_planner import EmergencyBrakeRecovery
@@ -88,7 +89,13 @@ class PresetFaultInjector(Role):
         return RoleResult(verdict=Verdict.INFO, data={"injections": len(records)})
 
 
-def _run(scenario: ScenarioType, seed: int, factory: Optional[Callable[[], FaultModel]]):
+def _run(
+    scenario: ScenarioType,
+    seed: int,
+    factory: Optional[Callable[[], FaultModel]],
+    trace: "str | Path | None" = None,
+    trace_id: str = "run",
+):
     """One run with the given fault kind armed for the whole scenario."""
     spec = build_scenario(scenario, seed)
     pipeline = FaultPipeline(seed=seed)
@@ -106,7 +113,14 @@ def _run(scenario: ScenarioType, seed: int, factory: Optional[Callable[[], Fault
         environment,
         OrchestratorConfig(max_iterations=int(spec.timeout_s / 0.1) + 10),
     )
+    recorder = (
+        TraceRecorder(trace, trace_id=trace_id).attach(controller)
+        if trace is not None
+        else None
+    )
     result = controller.run()
+    if recorder is not None:
+        recorder.finalize(result.metrics)
     info = result.environment_info
     return {
         "flagged": bool(result.metrics.violations_of("safety")),
@@ -116,10 +130,20 @@ def _run(scenario: ScenarioType, seed: int, factory: Optional[Callable[[], Fault
     }
 
 
-def execute_cell(payload: "Tuple[str, int, str]") -> Dict[str, object]:
-    """Engine worker entry: one (scenario, seed, fault-label) run."""
-    scenario_value, seed, label = payload
-    return _run(ScenarioType(scenario_value), seed, FAULT_FACTORIES[label])
+def execute_cell(payload: "Tuple") -> Dict[str, object]:
+    """Engine worker entry: one (scenario, seed, fault-label) run.
+
+    Accepts the historical 3-tuple payload and the traced 4-tuple with a
+    trailing campaign trace directory.
+    """
+    scenario_value, seed, label = payload[:3]
+    trace_dir = payload[3] if len(payload) > 3 else None
+    key = f"{scenario_value}:{seed}:{label}"
+    trace = unit_trace_path(trace_dir, key) if trace_dir is not None else None
+    return _run(
+        ScenarioType(scenario_value), seed, FAULT_FACTORIES[label],
+        trace=trace, trace_id=key,
+    )
 
 
 def generate(
@@ -129,12 +153,14 @@ def generate(
     jobs: int = 1,
     journal: "str | Path | None" = None,
     resume: bool = False,
+    trace: "str | Path | None" = None,
 ) -> str:
     """Render the fault x scenario robustness matrix."""
     units = [
         WorkUnit(
             key=f"{scenario.value}:{seed}:{label}",
-            payload=(scenario.value, seed, label),
+            payload=(scenario.value, seed, label)
+            + ((str(trace),) if trace is not None else ()),
         )
         for scenario in scenarios
         for label in FAULT_FACTORIES
@@ -145,6 +171,7 @@ def generate(
         EnginePolicy(jobs=jobs),
         journal=journal,
         resume=resume,
+        trace=trace,
     )
     cells = engine.run(units).raise_on_error().results()
 
@@ -186,15 +213,29 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--journal", type=Path, default=None)
     parser.add_argument("--resume", action="store_true")
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="DIR",
+        help="record schema-v1 run + engine traces into DIR",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="repro.* logger level (stderr)",
+    )
     args = parser.parse_args(argv)
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")
+    from ..obs import configure_logging
+
+    configure_logging(args.log_level)
     print(
         generate(
             seeds=tuple(range(args.seeds)),
             jobs=args.jobs,
             journal=args.journal,
             resume=args.resume,
+            trace=args.trace,
         )
     )
 

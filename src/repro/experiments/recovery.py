@@ -73,12 +73,14 @@ def measure(
     jobs: int = 1,
     journal: "str | Path | None" = None,
     resume: bool = False,
+    trace: "str | Path | None" = None,
 ) -> List[CounterfactualPair]:
     """Run every (scenario, seed) twice: with and without recovery.
 
     Both passes go through one engine campaign: 2 x scenarios x seeds
     work units, interleaved (with, without) so the pairs re-assemble by
-    position whatever order the pool finishes them in.
+    position whatever order the pool finishes them in.  ``trace`` records
+    both passes into one campaign trace directory.
     """
     base = options or CampaignOptions()
     variants = tuple(
@@ -91,7 +93,7 @@ def measure(
         for use_recovery in (True, False)
     )
     units = [
-        campaign_unit(scenario, seed, variant)
+        campaign_unit(scenario, seed, variant, trace_dir=trace)
         for scenario in scenarios
         for seed in seeds
         for variant in variants
@@ -103,6 +105,7 @@ def measure(
         decode=_decode_outcome,
         journal=journal,
         resume=resume,
+        trace=trace,
     )
     outcomes = engine.run(units).raise_on_error().results()
     pairs: List[CounterfactualPair] = []
@@ -124,11 +127,18 @@ def generate(
     jobs: int = 1,
     journal: "str | Path | None" = None,
     resume: bool = False,
+    trace: "str | Path | None" = None,
 ) -> str:
     """Render the recovery-effectiveness tables."""
     if pairs is None:
         pairs = measure(
-            scenarios, seeds, options, jobs=jobs, journal=journal, resume=resume
+            scenarios,
+            seeds,
+            options,
+            jobs=jobs,
+            journal=journal,
+            resume=resume,
+            trace=trace,
         )
 
     per_scenario: Dict[ScenarioType, List[CounterfactualPair]] = {}
@@ -187,15 +197,29 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--journal", type=Path, default=None)
     parser.add_argument("--resume", action="store_true")
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="DIR",
+        help="record schema-v1 run + engine traces into DIR",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="repro.* logger level (stderr)",
+    )
     args = parser.parse_args(argv)
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")
+    from ..obs import configure_logging
+
+    configure_logging(args.log_level)
     print(
         generate(
             seeds=tuple(range(args.seeds)),
             jobs=args.jobs,
             journal=args.journal,
             resume=args.resume,
+            trace=args.trace,
         )
     )
 

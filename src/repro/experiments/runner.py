@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 from ..analysis.aggregate import aggregate_suite
 from ..analysis.tables import render_table
 from ..exec import ExecutionReport
+from ..obs import configure_logging
 from ..sim.scenario import ScenarioType
 from . import fig4, gridlock, table2
 from .campaign import DEFAULT_SEEDS, CampaignOptions, execute_suite
@@ -34,6 +35,7 @@ def run_evaluation(
     jobs: int = 1,
     journal: "str | Path | None" = None,
     resume: bool = False,
+    trace: "str | Path | None" = None,
     execution: "Optional[list] | None" = None,
 ) -> str:
     """Run the campaign once and render all per-campaign artifacts.
@@ -41,7 +43,9 @@ def run_evaluation(
     The report is deterministic (identical for any ``jobs`` value and
     across reruns of the same seeds); wall-clock and worker telemetry
     live in the :class:`~repro.exec.ExecutionReport`, appended to the
-    ``execution`` list when one is supplied.
+    ``execution`` list when one is supplied.  ``trace`` records every run
+    (plus engine dispatch telemetry) into a trace directory readable by
+    ``python -m repro.obs summarize``.
     """
     results, exec_report = execute_suite(
         table2.SCENARIO_ORDER,
@@ -50,6 +54,7 @@ def run_evaluation(
         jobs=jobs,
         journal=journal,
         resume=resume,
+        trace=trace,
     )
     if execution is not None:
         execution.append(exec_report)
@@ -112,9 +117,24 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         action="store_true",
         help="replay finished runs from --journal; execute only missing ones",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record schema-v1 run + engine traces into DIR "
+        "(inspect with `python -m repro.obs summarize DIR`)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="repro.* logger level (stderr)",
+    )
     args = parser.parse_args(argv)
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")
+    configure_logging(args.log_level)
 
     execution: "list[ExecutionReport]" = []
     report = run_evaluation(
@@ -123,6 +143,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         jobs=args.jobs,
         journal=args.journal,
         resume=args.resume,
+        trace=args.trace,
         execution=execution,
     )
     print(report)

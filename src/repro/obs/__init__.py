@@ -1,0 +1,99 @@
+"""Observability: end-to-end tracing and telemetry for the assurance loop.
+
+The evidence trail used to live (and die) in process memory — the
+:class:`~repro.core.events.EventBus` log and
+:class:`~repro.core.metrics.DependabilityMetrics`.  This package makes it
+durable and queryable across every layer:
+
+* :mod:`repro.obs.trace` — span-based JSONL tracing (run → iteration →
+  role execution), :class:`TraceRecorder` for orchestration runs,
+  :class:`EngineTracer` for the execution engine's task dispatch, and a
+  deterministic campaign manifest merging per-worker trace files.
+* :mod:`repro.obs.telemetry` — a picklable registry of counters, gauges
+  and log-linear histograms, mergeable across worker processes.
+* :mod:`repro.obs.cli` — the ``python -m repro.obs`` command
+  (``summarize`` / ``tail`` / ``diff``): recomputes dependability counts
+  from the raw event records and cross-checks them against each run's
+  recorded metrics summary, making traced campaigns self-certifying.
+
+Library modules log under the ``repro.*`` logger hierarchy (the stdlib
+:mod:`logging` module); :func:`configure_logging` is the one-call switch
+CLI entry points expose via ``--log-level``.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from .telemetry import Counter, Gauge, Histogram, TelemetryRegistry
+from .trace import (
+    ENGINE_TRACE_NAME,
+    MANIFEST_NAME,
+    TRACE_SCHEMA_VERSION,
+    TRACE_SUFFIX,
+    EngineTracer,
+    TraceData,
+    TraceRecorder,
+    TraceWriter,
+    aggregate_counts,
+    discover_traces,
+    load_run_traces,
+    load_trace,
+    recompute_counts,
+    safe_trace_name,
+    trace_controller,
+    unit_trace_path,
+    verify_trace,
+    write_manifest,
+)
+
+
+def configure_logging(level: "int | str" = logging.INFO, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy for CLI / script use.
+
+    Library modules never configure logging themselves (standard library
+    etiquette); entry points call this once.  Returns the root ``repro``
+    logger.  Idempotent: an existing handler is re-leveled, not duplicated.
+    """
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    else:
+        for handler in logger.handlers:
+            handler.setLevel(logging.NOTSET)
+    return logger
+
+
+__all__ = [
+    "Counter",
+    "ENGINE_TRACE_NAME",
+    "EngineTracer",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_NAME",
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_SUFFIX",
+    "TelemetryRegistry",
+    "TraceData",
+    "TraceRecorder",
+    "TraceWriter",
+    "aggregate_counts",
+    "configure_logging",
+    "discover_traces",
+    "load_run_traces",
+    "load_trace",
+    "recompute_counts",
+    "safe_trace_name",
+    "trace_controller",
+    "unit_trace_path",
+    "verify_trace",
+    "write_manifest",
+]

@@ -1,0 +1,269 @@
+"""The trace CLI: ``python -m repro.obs {summarize,tail,diff}``.
+
+``summarize``
+    Recompute violation/fault/recovery/iteration counts from a trace's
+    *event records* (never from the recorded summary), cross-check them
+    against the metrics summary each run recorded in its footer, and
+    report per-role latency percentiles recomputed from the role spans.
+    The count section is deterministic for a deterministic campaign:
+    summarizing a ``--jobs 4`` trace directory with ``--no-timing``
+    yields byte-identical output to the serial run.
+``tail``
+    Human-readable event stream (last N events), for eyeballing what a
+    run actually did.
+``diff``
+    Compare two traces or campaign trace directories: count deltas and
+    per-role latency deltas — serial vs parallel, before vs after a
+    change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .telemetry import TelemetryRegistry
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceData,
+    aggregate_counts,
+    discover_traces,
+    load_trace,
+    load_run_traces,
+    verify_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# shared aggregation
+# ----------------------------------------------------------------------
+def latency_registry(traces: Sequence[TraceData]) -> TelemetryRegistry:
+    """Per-role latency histograms recomputed from role spans."""
+    registry = TelemetryRegistry()
+    for trace in traces:
+        for span in trace.spans:
+            if span.get("span_kind") == "role":
+                registry.histogram(f"role_latency_s.{span['name']}").record(
+                    max(float(span.get("duration_s", 0.0)), 0.0)
+                )
+            elif span.get("span_kind") == "task":
+                if not (span.get("attrs") or {}).get("cached"):
+                    registry.histogram("task_latency_s").record(
+                        max(float(span.get("duration_s", 0.0)), 0.0)
+                    )
+    return registry
+
+
+def summarize_path(path: "str | Path") -> Dict[str, Any]:
+    """Everything ``summarize``/``diff`` need, as one JSON-friendly dict."""
+    all_traces = [load_trace(p) for p in discover_traces(path)]
+    runs = sorted(
+        (t for t in all_traces if t.trace_kind == "run"), key=lambda t: t.trace_id
+    )
+    engines = [t for t in all_traces if t.trace_kind == "engine"]
+    counts = aggregate_counts(runs)
+    verified = [verify_trace(t) for t in runs]
+    mismatches = [
+        f"{t.trace_id}: {problem}"
+        for t, (ok, problems) in zip(runs, verified)
+        for problem in problems
+    ]
+    latencies = latency_registry(runs + engines)
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "counts": counts,
+        "consistent_traces": sum(1 for ok, _ in verified if ok),
+        "checked_traces": len(runs),
+        "mismatches": mismatches,
+        "corrupt_lines": sum(t.corrupt_lines for t in all_traces),
+        "latency": {
+            name: latencies.histograms[name].summary()
+            for name in sorted(latencies.histograms)
+        },
+    }
+
+
+def _format_violations(violation_counts: Dict[str, int]) -> str:
+    if not violation_counts:
+        return "none"
+    parts = ", ".join(f"{k}={v}" for k, v in sorted(violation_counts.items()))
+    return f"{parts} (total {sum(violation_counts.values())})"
+
+
+def render_summary(summary: Dict[str, Any], timing: bool = True) -> str:
+    counts = summary["counts"]
+    title = f"trace summary (schema v{summary['schema']})"
+    lines = [title, "=" * len(title)]
+    lines.append(f"runs        : {counts['runs']}")
+    lines.append(f"iterations  : {counts['iterations_completed']}")
+    lines.append(f"violations  : {_format_violations(counts['violation_counts'])}")
+    lines.append(f"faults      : {counts['fault_count']}")
+    lines.append(f"recoveries  : {counts['recovery_activations']}")
+    checked = summary["checked_traces"]
+    if checked:
+        lines.append(
+            f"consistency : {summary['consistent_traces']}/{checked} traces match "
+            "their recorded metrics summaries"
+        )
+        for mismatch in summary["mismatches"]:
+            lines.append(f"  MISMATCH {mismatch}")
+    if summary["corrupt_lines"]:
+        lines.append(f"corrupt     : {summary['corrupt_lines']} unparseable line(s) skipped")
+    if counts["events"]:
+        lines.append("events:")
+        for name in sorted(counts["events"]):
+            lines.append(f"  {name:<28} {counts['events'][name]}")
+    if timing and summary["latency"]:
+        lines.append("")
+        lines.append("latency (s, recomputed from spans):")
+        lines.append(
+            f"  {'name':<36} {'count':>6} {'mean':>9} {'p50':>9} "
+            f"{'p90':>9} {'p99':>9} {'max':>9}"
+        )
+        for name, s in summary["latency"].items():
+            lines.append(
+                f"  {name:<36} {int(s['count']):>6} {s['mean']:>9.6f} {s['p50']:>9.6f} "
+                f"{s['p90']:>9.6f} {s['p99']:>9.6f} {s['max']:>9.6f}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_summarize(args: argparse.Namespace) -> int:
+    summary = summarize_path(args.path)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary, timing=not args.no_timing))
+    return 1 if summary["mismatches"] else 0
+
+
+def _format_event(event: Dict[str, Any], trace_id: Optional[str] = None) -> str:
+    role = f" role={event['role']}" if event.get("role") else ""
+    payload = event.get("payload") or {}
+    extras = " ".join(
+        f"{k}={payload[k]}" for k in sorted(payload) if not isinstance(payload[k], dict)
+    )
+    prefix = f"{trace_id} " if trace_id else ""
+    return (
+        f"{prefix}[it {event.get('iteration', 0)} t={event.get('time', 0.0):.1f}s] "
+        f"{event.get('event', '?')}{role}"
+        + (f"  {extras}" if extras else "")
+    )
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    traces = load_run_traces(args.path)
+    if not traces:
+        print("no run traces found", file=sys.stderr)
+        return 1
+    rows: List[str] = []
+    label = len(traces) > 1
+    for trace in traces:
+        for event in trace.events:
+            if args.event and event.get("event") != args.event:
+                continue
+            rows.append(_format_event(event, trace.trace_id if label else None))
+    for row in rows[-args.lines:]:
+        print(row)
+    return 0
+
+
+def _diff_number(label: str, a: Any, b: Any) -> str:
+    delta = (b or 0) - (a or 0)
+    sign = "+" if delta > 0 else ""
+    return f"{label:<28} {a!s:>10} -> {b!s:>10}  ({sign}{delta})"
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    left = summarize_path(args.a)
+    right = summarize_path(args.b)
+    lc, rc = left["counts"], right["counts"]
+    lines = [f"trace diff: {args.a} -> {args.b}", ""]
+    lines.append(_diff_number("runs", lc["runs"], rc["runs"]))
+    lines.append(
+        _diff_number(
+            "iterations", lc["iterations_completed"], rc["iterations_completed"]
+        )
+    )
+    categories = sorted(set(lc["violation_counts"]) | set(rc["violation_counts"]))
+    for category in categories:
+        lines.append(
+            _diff_number(
+                f"violations.{category}",
+                lc["violation_counts"].get(category, 0),
+                rc["violation_counts"].get(category, 0),
+            )
+        )
+    lines.append(_diff_number("faults", lc["fault_count"], rc["fault_count"]))
+    lines.append(
+        _diff_number(
+            "recoveries", lc["recovery_activations"], rc["recovery_activations"]
+        )
+    )
+    identical_counts = (
+        lc["violation_counts"] == rc["violation_counts"]
+        and lc["iterations_completed"] == rc["iterations_completed"]
+        and lc["fault_count"] == rc["fault_count"]
+        and lc["recovery_activations"] == rc["recovery_activations"]
+    )
+    lines.append("")
+    lines.append(
+        "counts identical" if identical_counts else "counts DIFFER"
+    )
+    if not args.no_timing:
+        names = sorted(set(left["latency"]) | set(right["latency"]))
+        if names:
+            lines.append("")
+            lines.append("latency p50 (s):")
+            for name in names:
+                a = left["latency"].get(name, {}).get("p50", 0.0)
+                b = right["latency"].get(name, {}).get("p50", 0.0)
+                lines.append(f"  {name:<36} {a:>9.6f} -> {b:>9.6f}  ({b - a:+.6f})")
+    print("\n".join(lines))
+    return 0 if identical_counts else 2
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="recompute and cross-check trace counts")
+    p.add_argument("path", type=Path, help="trace file or campaign trace directory")
+    p.add_argument(
+        "--no-timing", action="store_true",
+        help="omit latency sections (deterministic, byte-comparable output)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_summarize)
+
+    p = sub.add_parser("tail", help="human-readable event stream")
+    p.add_argument("path", type=Path)
+    p.add_argument("-n", "--lines", type=int, default=40, help="events to show")
+    p.add_argument("--event", default=None, help="only this event kind")
+    p.set_defaults(fn=cmd_tail)
+
+    p = sub.add_parser("diff", help="compare two traces or trace directories")
+    p.add_argument("a", type=Path)
+    p.add_argument("b", type=Path)
+    p.add_argument("--no-timing", action="store_true")
+    p.set_defaults(fn=cmd_diff)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,279 @@
+"""Telemetry registry: counters, gauges and log-linear histograms.
+
+The registry is the aggregate side of the observability spine: the tracer
+populates one per run (per-role latency, verdict and violation counts),
+the execution engine populates one per campaign (task latency, retries,
+worker utilization), and parallel workers ship theirs back to the parent
+embedded in trace footers.  Three properties drive the design:
+
+* **picklable** — instruments are plain-attribute objects so a registry
+  crosses a ``ProcessPoolExecutor`` boundary untouched;
+* **mergeable** — :meth:`TelemetryRegistry.merge` folds a worker's
+  registry into the parent's, instrument by instrument;
+* **JSON round-trippable** — :meth:`TelemetryRegistry.snapshot` /
+  :meth:`TelemetryRegistry.from_snapshot` embed registries in trace
+  files and rebuild them for the ``repro.obs`` CLI.
+
+Histograms are log-linear (HdrHistogram-style): values bucket into
+``SUBBUCKETS`` linear slots per power-of-two octave, bounding the relative
+quantile error at ``1/SUBBUCKETS`` per octave while keeping storage
+proportional to the dynamic range actually observed, not to the sample
+count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Linear subdivisions per power-of-two octave; quantile estimates are
+#: accurate to ~1/SUBBUCKETS relative error.
+SUBBUCKETS = 16
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = int(value)
+
+    def inc(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError(f"counters only go up, got {by}")
+        self.value += by
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A last-write-wins float measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, by: float) -> None:
+        self.value += float(by)
+
+    def merge(self, other: "Gauge") -> None:
+        # Merging run-level gauges across workers: sum is the only
+        # aggregation that composes (utilization-style gauges should be
+        # recomputed from counters instead).
+        self.value += other.value
+
+
+class Histogram:
+    """Log-linear histogram of non-negative samples.
+
+    Buckets are indexed ``octave * SUBBUCKETS + slot`` where ``octave``
+    is ``floor(log2(value))`` and ``slot`` subdivides the octave
+    linearly.  Exact ``count``/``sum``/``min``/``max`` are kept alongside
+    the buckets, so means are exact and quantiles are bounded-error.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "zeros", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.zeros = 0
+        self.buckets: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        octave = math.floor(math.log2(value))
+        lower = 2.0 ** octave
+        slot = min(SUBBUCKETS - 1, int((value - lower) / lower * SUBBUCKETS))
+        return octave * SUBBUCKETS + slot
+
+    @staticmethod
+    def _bucket_midpoint(index: int) -> float:
+        octave, slot = divmod(index, SUBBUCKETS)
+        lower = 2.0 ** octave
+        return lower * (1.0 + (slot + 0.5) / SUBBUCKETS)
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        value = float(value)
+        if value < 0.0 or not math.isfinite(value):
+            raise ValueError(f"histogram samples must be finite and >= 0, got {value}")
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if value == 0.0:
+            self.zeros += 1
+            return
+        index = self._bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for bound in ("min", "max"):
+            mine, theirs = getattr(self, bound), getattr(other, bound)
+            if theirs is not None:
+                pick = min if bound == "min" else max
+                setattr(self, bound, theirs if mine is None else pick(mine, theirs))
+        self.zeros += other.zeros
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Bounded-error quantile estimate, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                estimate = self._bucket_midpoint(index)
+                # Clamp to the exact observed envelope.
+                return max(self.min or 0.0, min(estimate, self.max or estimate))
+        return self.max if self.max is not None else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+class TelemetryRegistry:
+    """Named instruments behind one picklable, mergeable switchboard."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instrument accessors (create on first use)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram()
+        return instrument
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "TelemetryRegistry") -> "TelemetryRegistry":
+        """Fold ``other`` into this registry (returns self for chaining)."""
+        for name, counter in other.counters.items():
+            self.counter(name).merge(counter)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).merge(gauge)
+        for name, histogram in other.histograms.items():
+            self.histogram(name).merge(histogram)
+        return self
+
+    @staticmethod
+    def merged(registries: Iterable["TelemetryRegistry"]) -> "TelemetryRegistry":
+        out = TelemetryRegistry()
+        for registry in registries:
+            out.merge(registry)
+        return out
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dump, stable key order (sorted names)."""
+        return {
+            "counters": {name: self.counters[name].value for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name].value for name in sorted(self.gauges)},
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "zeros": hist.zeros,
+                    "buckets": {str(i): hist.buckets[i] for i in sorted(hist.buckets)},
+                }
+                for name, hist in ((n, self.histograms[n]) for n in sorted(self.histograms))
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Any]) -> "TelemetryRegistry":
+        registry = cls()
+        for name, value in (data.get("counters") or {}).items():
+            registry.counter(name).value = int(value)
+        for name, value in (data.get("gauges") or {}).items():
+            registry.gauge(name).value = float(value)
+        for name, dump in (data.get("histograms") or {}).items():
+            hist = registry.histogram(name)
+            hist.count = int(dump.get("count", 0))
+            hist.total = float(dump.get("sum", 0.0))
+            hist.min = dump.get("min")
+            hist.max = dump.get("max")
+            hist.zeros = int(dump.get("zeros", 0))
+            hist.buckets = {int(i): int(n) for i, n in (dump.get("buckets") or {}).items()}
+        return registry
+
+    # ------------------------------------------------------------------
+    # rendering (consumed by core.report's telemetry digest section)
+    # ------------------------------------------------------------------
+    def render_lines(self, timing: bool = True) -> List[str]:
+        """Plain-text digest; ``timing=False`` omits histogram latencies,
+        which is what deterministic (byte-comparable) summaries need."""
+        lines: List[str] = []
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<40} {self.counters[name].value}")
+        if self.gauges:
+            lines.append("gauges:")
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:<40} {self.gauges[name].value:g}")
+        if timing and self.histograms:
+            lines.append("histograms (count mean p50 p90 p99 max):")
+            for name in sorted(self.histograms):
+                s = self.histograms[name].summary()
+                lines.append(
+                    f"  {name:<40} {int(s['count']):>6} {s['mean']:.6f} "
+                    f"{s['p50']:.6f} {s['p90']:.6f} {s['p99']:.6f} {s['max']:.6f}"
+                )
+        if not lines:
+            lines.append("no instruments recorded")
+        return lines

@@ -9,12 +9,15 @@ cause unsafe *reactions*, not physical contact.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..geom import shapes_overlap
 from .pedestrian import Pedestrian
 from .vehicle import Vehicle
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -69,6 +72,9 @@ def detect_ego_collisions(
                     ego_speed=ego.speed,
                 )
             )
+    if events:
+        for event in events:
+            logger.debug("detected %s", event)
     return events
 
 

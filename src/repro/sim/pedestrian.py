@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import itertools
+import logging
 from dataclasses import dataclass, field
 
 from ..geom import Circle, KinematicState, Vec2
 from .intersection import Crosswalk
+
+logger = logging.getLogger(__name__)
 
 #: Body radius used for the circular footprint (metres).
 PEDESTRIAN_RADIUS = 0.35
@@ -67,3 +70,10 @@ class Pedestrian:
         if now < self.start_time or self.finished:
             return
         self.s = min(self.s + self.speed * dt, self.crosswalk.length)
+        if self.finished:
+            # One-shot: next call returns early on the finished check above.
+            logger.debug(
+                "pedestrian %d reached the far kerb at t=%.1fs",
+                self.pedestrian_id,
+                now,
+            )

@@ -11,10 +11,13 @@ touching the physics.
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from ..geom import Circle, KinematicState, OBB, Shape, Vec2
+
+logger = logging.getLogger(__name__)
 
 
 class ObjectKind(enum.Enum):
@@ -175,5 +178,12 @@ def perceive(world: "object", perception_range: float = PERCEPTION_RANGE) -> Per
                 width=pedestrian.radius * 2.0,
                 source_id=pedestrian.pedestrian_id,
             )
+        )
+    if logger.isEnabledFor(logging.DEBUG):
+        logger.debug(
+            "t=%.1fs: %d objects within %.0f m of the ego",
+            world.time,
+            len(snapshot.objects),
+            perception_range,
         )
     return snapshot

@@ -10,11 +10,14 @@ poses and velocities — per the substitution argument in DESIGN.md.
 from __future__ import annotations
 
 import itertools
+import logging
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..geom import OBB, KinematicState, Vec2
 from .intersection import Route, in_intersection_box
+
+logger = logging.getLogger(__name__)
 
 #: Standard passenger-car footprint (metres).
 VEHICLE_LENGTH = 4.5
@@ -122,6 +125,7 @@ class Vehicle:
         """
         if dt <= 0.0:
             raise ValueError(f"dt must be positive, got {dt}")
+        was_finished = self.finished
         new_speed = self.speed + self.acceleration * dt
         if new_speed < 0.0:
             # Come to rest part-way through the step.
@@ -132,6 +136,12 @@ class Vehicle:
             return
         self.s += (self.speed + new_speed) / 2.0 * dt
         self.speed = new_speed
+        if self.finished and not was_finished:
+            logger.debug(
+                "vehicle %d%s drove off the end of its route",
+                self.vehicle_id,
+                " (ego)" if self.is_ego else "",
+            )
 
     def jerk(self, dt: float) -> float:
         """Instantaneous jerk estimate from the last acceleration change."""

@@ -11,6 +11,7 @@ the framework (:mod:`repro.env.sim_interface`) sets it before each step.
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import List, Optional
 
@@ -24,6 +25,8 @@ from .vehicle import Vehicle
 
 #: Simulation tick, seconds (the paper aligns processing to 100 ms).
 TICK_S = 0.1
+
+logger = logging.getLogger(__name__)
 
 
 class World:
@@ -104,13 +107,13 @@ class World:
         self.time += self.dt
         self.tick_count += 1
 
-        self.collisions.extend(
-            event
-            for event in detect_ego_collisions(
-                self.ego, self.vehicles, self.pedestrians, self.time
-            )
-            if not self._already_logged(event)
-        )
+        for event in detect_ego_collisions(
+            self.ego, self.vehicles, self.pedestrians, self.time
+        ):
+            if self._already_logged(event):
+                continue
+            logger.debug("%s: %s", self.spec.name, event)
+            self.collisions.append(event)
         ego_box = self.ego.footprint()
         for vehicle in self.vehicles:
             if vehicle.is_ego or vehicle.finished:
@@ -125,6 +128,11 @@ class World:
 
         if self.ego_clearance_time is None and self.ego.cleared_intersection:
             self.ego_clearance_time = self.time
+            logger.debug(
+                "%s: ego cleared the intersection at t=%.1fs",
+                self.spec.name,
+                self.time,
+            )
 
     def _already_logged(self, event: CollisionEvent) -> bool:
         """Suppress repeated contact reports against the same entity."""

@@ -28,6 +28,20 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             OrchestratorConfig(history_limit=-1)
 
+    def test_invalid_event_log_limit(self):
+        with pytest.raises(ConfigurationError):
+            OrchestratorConfig(event_log_limit=0)
+
+    def test_event_log_limit_caps_bus(self):
+        controller = OrchestrationController(
+            [constant_generator("go")],
+            StubEnvironment(steps=5),
+            OrchestratorConfig(event_log_limit=4),
+        )
+        controller.run()
+        assert len(controller.events.log) == 4
+        assert controller.events.dropped_events > 0
+
     def test_none_values_allowed(self):
         config = OrchestratorConfig(max_iterations=None, history_limit=None)
         assert config.max_iterations is None
@@ -102,6 +116,22 @@ class TestReport:
         report = build_report(controller.run())
         assert "none detected" in report
 
+    def test_report_without_telemetry_has_no_digest(self):
+        _, result = self._run()
+        assert "Telemetry digest" not in build_report(result)
+
+    def test_report_telemetry_digest(self):
+        from repro.obs.telemetry import TelemetryRegistry
+
+        _, result = self._run()
+        registry = TelemetryRegistry()
+        registry.counter("events.role_executed").inc(9)
+        registry.histogram("role_latency_s.Monitor").record(0.004)
+        report = build_report(result, telemetry=registry)
+        assert "Telemetry digest" in report
+        assert "events.role_executed" in report
+        assert "role_latency_s.Monitor" in report
+
     def test_metrics_digest_one_line(self):
         _, result = self._run()
         digest = metrics_digest(result.metrics)
@@ -142,6 +172,21 @@ class TestMarkdownReport:
         report = self._run()
         # The narrative "too | close" must not break the Markdown table.
         assert "too / close" in report
+
+    def test_markdown_telemetry_digest_fenced(self):
+        from repro.core import build_markdown_report
+        from repro.obs.telemetry import TelemetryRegistry
+
+        controller = OrchestrationController(
+            [constant_generator("go")], StubEnvironment(steps=1)
+        )
+        result = controller.run()
+        registry = TelemetryRegistry()
+        registry.counter("events.role_executed").inc(1)
+        report = build_markdown_report(result, telemetry=registry)
+        assert "## Telemetry digest" in report
+        assert "```" in report
+        assert "events.role_executed" in report
 
     def test_clean_run_markdown(self):
         from repro.core import build_markdown_report

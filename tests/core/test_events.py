@@ -82,6 +82,46 @@ class TestLog:
         assert len(bus.log) == 1
 
 
+class TestLogCap:
+    def test_unbounded_by_default(self):
+        bus = EventBus()
+        for i in range(1000):
+            bus.publish(event(iteration=i))
+        assert len(bus.log) == 1000
+        assert bus.dropped_events == 0
+
+    def test_max_log_keeps_newest(self):
+        bus = EventBus(max_log=3)
+        for i in range(5):
+            bus.publish(event(iteration=i))
+        assert [e.iteration for e in bus.log] == [2, 3, 4]
+        assert bus.dropped_events == 2
+
+    def test_subscribers_still_see_dropped_events(self):
+        bus = EventBus(max_log=1)
+        received = []
+        bus.subscribe(received.append)
+        for i in range(4):
+            bus.publish(event(iteration=i))
+        assert len(received) == 4
+
+    def test_clear_resets_dropped_counter(self):
+        bus = EventBus(max_log=1)
+        bus.publish(event(iteration=0))
+        bus.publish(event(iteration=1))
+        assert bus.dropped_events == 1
+        bus.clear()
+        assert bus.dropped_events == 0
+        bus.publish(event(iteration=2))
+        assert len(bus.log) == 1 and bus.dropped_events == 0
+
+    def test_invalid_max_log_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus(max_log=0)
+        with pytest.raises(ValueError):
+            EventBus(max_log=-5)
+
+
 class TestEventRendering:
     def test_str_includes_role(self):
         text = str(event(kind=EventKind.ROLE_EXECUTED, iteration=3, time=1.5, role="Monitor"))

@@ -344,3 +344,44 @@ class TestProgressAndSummary:
         CampaignEngine(square, policy(), progress=reporter).run(_units(4))
         out = stream.getvalue()
         assert "4/4" in out and "runs/s" in out
+
+    def test_non_tty_reporter_emits_plain_lines(self):
+        import io
+
+        stream = io.StringIO()  # no isatty -> non-TTY path
+        reporter = StderrReporter(stream=stream, non_tty_interval_s=0.0)
+        assert not reporter.is_tty
+        CampaignEngine(square, policy(), progress=reporter).run(_units(3))
+        out = stream.getvalue()
+        # Whole newline-terminated lines, never carriage-return rewrites.
+        assert "\r" not in out
+        assert out.endswith("\n")
+        assert "[exec] finished 3/3 runs" in out
+
+    def test_non_tty_reporter_rate_limited(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = StderrReporter(stream=stream, non_tty_interval_s=3600.0)
+        CampaignEngine(square, policy(), progress=reporter).run(_units(5))
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        # Interval far above the campaign duration: intermediate tasks are
+        # suppressed; the final task (done == total bypasses the limit)
+        # and the summary always land.
+        for done in (2, 3, 4):
+            assert not any(f"{done}/5 runs" in l and "eta" in l for l in lines)
+        assert any("5/5 runs" in l and "eta" in l for l in lines)
+        assert lines[-1].startswith("[exec] finished 5/5 runs")
+
+    def test_tty_reporter_uses_carriage_returns(self):
+        import io
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        reporter = StderrReporter(stream=stream, min_interval_s=0.0)
+        assert reporter.is_tty
+        CampaignEngine(square, policy(), progress=reporter).run(_units(3))
+        assert "\r" in stream.getvalue()

@@ -12,6 +12,8 @@ from repro.exec import load_journal
 from repro.experiments import DEFAULT_SEEDS, execute_suite, run_once, run_suite
 from repro.experiments.campaign import options_digest, unit_key
 from repro.experiments.campaign import CampaignOptions
+from repro.obs.cli import render_summary, summarize_path
+from repro.obs.trace import ENGINE_TRACE_NAME, MANIFEST_NAME
 from repro.sim import ScenarioType
 
 SCENARIOS = (ScenarioType.NOMINAL, ScenarioType.CONGESTED)
@@ -91,6 +93,43 @@ class TestJournalledCampaign:
         # their original wall-clock.
         cached = [r for r in report.records if r.cached]
         assert len(cached) == 2
+
+    def test_traced_campaign_self_certifies(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        results, _ = execute_suite(
+            SCENARIOS, SEEDS, jobs=1, trace=trace_dir, progress=None
+        )
+        assert (trace_dir / ENGINE_TRACE_NAME).exists()
+        assert (trace_dir / MANIFEST_NAME).exists()
+        outcomes = [o for group in results.values() for o in group]
+        # Every outcome records where its trace landed.
+        assert all(
+            o.trace_file and o.trace_file.startswith(str(trace_dir / "units"))
+            for o in outcomes
+        )
+        summary = summarize_path(trace_dir)
+        assert summary["mismatches"] == []
+        assert summary["consistent_traces"] == summary["checked_traces"] == len(outcomes)
+        # Counts in the rendered summary are recomputed from raw events,
+        # yet land exactly on what DependabilityMetrics reported.
+        counts = summary["counts"]
+        assert counts["runs"] == len(outcomes)
+        assert counts["iterations_completed"] == sum(o.iterations for o in outcomes)
+        assert counts["recovery_activations"] == sum(
+            o.recovery_activations for o in outcomes
+        )
+
+    def test_traced_parallel_summary_matches_serial_byte_for_byte(self, tmp_path):
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        execute_suite(SCENARIOS, SEEDS, jobs=1, trace=serial_dir, progress=None)
+        execute_suite(SCENARIOS, SEEDS, jobs=2, trace=parallel_dir, progress=None)
+        serial = render_summary(summarize_path(serial_dir), timing=False)
+        parallel = render_summary(summarize_path(parallel_dir), timing=False)
+        assert serial == parallel
+        # Same per-unit trace files regardless of worker count.
+        assert sorted(p.name for p in (serial_dir / "units").iterdir()) == sorted(
+            p.name for p in (parallel_dir / "units").iterdir()
+        )
 
     def test_resume_under_parallel_execution(self, tmp_path):
         journal = tmp_path / "campaign.jsonl"

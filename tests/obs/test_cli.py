@@ -1,0 +1,132 @@
+"""Tests for the ``python -m repro.obs`` CLI: summarize, tail, diff."""
+
+import json
+
+from repro.core import OrchestrationController, RoleKind, RoleResult, Verdict
+from repro.obs.cli import main, summarize_path
+from repro.obs.trace import TraceWriter, trace_controller
+from tests.conftest import ScriptedRole, StubEnvironment, constant_generator
+
+
+def _write_trace(tmp_path, name="run-a", steps=3, fail=True):
+    results = (
+        [RoleResult(verdict=Verdict.FAIL, narrative="x"), RoleResult(verdict=Verdict.PASS)]
+        if fail
+        else [RoleResult(verdict=Verdict.PASS)]
+    )
+    monitor = ScriptedRole(results, name="Monitor", kind=RoleKind.SAFETY_MONITOR)
+    controller = OrchestrationController(
+        [constant_generator("go"), monitor], StubEnvironment(steps=steps)
+    )
+    path = tmp_path / f"{name}.trace.jsonl"
+    recorder = trace_controller(controller, path, trace_id=name)
+    result = controller.run()
+    recorder.finalize(result.metrics)
+    return path, result
+
+
+class TestSummarize:
+    def test_consistent_trace_exits_zero(self, tmp_path, capsys):
+        path, result = _write_trace(tmp_path)
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "runs        : 1" in out
+        assert f"iterations  : {result.iterations}" in out
+        assert "1/1 traces match" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path, result = _write_trace(tmp_path)
+        assert main(["summarize", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["iterations_completed"] == result.iterations
+        assert data["mismatches"] == []
+
+    def test_no_timing_omits_latency(self, tmp_path, capsys):
+        path, _ = _write_trace(tmp_path)
+        main(["summarize", str(path), "--no-timing"])
+        assert "latency" not in capsys.readouterr().out
+
+    def test_directory_aggregates(self, tmp_path, capsys):
+        _, a = _write_trace(tmp_path, name="run-a")
+        _, b = _write_trace(tmp_path, name="run-b")
+        assert main(["summarize", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "runs        : 2" in out
+        assert f"iterations  : {a.iterations + b.iterations}" in out
+
+    def test_tampered_summary_fails(self, tmp_path, capsys):
+        # A footer claiming different counts than the events support must
+        # be flagged: the trace is the evidence, not the summary.
+        writer = TraceWriter(tmp_path / "bad.trace.jsonl")
+        writer.write(
+            {"kind": "trace_header", "schema": 1, "trace_kind": "run", "trace_id": "bad", "meta": {}}
+        )
+        writer.write(
+            {"kind": "event", "seq": 1, "event": "iteration_finished", "iteration": 0, "time": 0.1, "role": None, "payload": {}}
+        )
+        writer.write(
+            {
+                "kind": "trace_footer",
+                "schema": 1,
+                "trace_id": "bad",
+                "events": 1,
+                "spans": 0,
+                "metrics_summary": {
+                    "iterations_completed": 99,
+                    "violation_counts": {},
+                    "fault_count": 0,
+                    "recovery_activations": 0,
+                },
+                "telemetry": None,
+            }
+        )
+        writer.close()
+        assert main(["summarize", str(writer.path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_summarize_path_latency_from_spans(self, tmp_path):
+        path, result = _write_trace(tmp_path)
+        summary = summarize_path(path)
+        monitor = summary["latency"]["role_latency_s.Monitor"]
+        assert int(monitor["count"]) == result.iterations
+
+
+class TestTail:
+    def test_tail_shows_events(self, tmp_path, capsys):
+        path, _ = _write_trace(tmp_path)
+        assert main(["tail", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "iteration_started" in out
+        assert "run_terminated" in out
+
+    def test_tail_line_limit(self, tmp_path, capsys):
+        path, _ = _write_trace(tmp_path)
+        main(["tail", str(path), "-n", "2"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+    def test_tail_event_filter(self, tmp_path, capsys):
+        path, result = _write_trace(tmp_path)
+        main(["tail", str(path), "--event", "iteration_finished", "-n", "100"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == result.iterations
+        assert all("iteration_finished" in line for line in lines)
+
+    def test_tail_no_traces(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path)]) == 1
+
+
+class TestDiff:
+    def test_identical_traces(self, tmp_path, capsys):
+        a, _ = _write_trace(tmp_path / "a", name="run")
+        b, _ = _write_trace(tmp_path / "b", name="run")
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "counts identical" in capsys.readouterr().out
+
+    def test_differing_traces_exit_two(self, tmp_path, capsys):
+        a, _ = _write_trace(tmp_path / "a", name="run", fail=True)
+        b, _ = _write_trace(tmp_path / "b", name="run", fail=False)
+        assert main(["diff", str(a), str(b), "--no-timing"]) == 2
+        out = capsys.readouterr().out
+        assert "counts DIFFER" in out
+        assert "violations.safety" in out

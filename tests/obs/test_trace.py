@@ -1,0 +1,221 @@
+"""Tests for span-based tracing: recorder round trips, self-certification,
+engine traces, manifests, and the serial == parallel guarantee."""
+
+import json
+
+from repro.core import (
+    OrchestrationController,
+    RoleKind,
+    RoleResult,
+    Verdict,
+)
+from repro.exec import CampaignEngine, EnginePolicy, WorkUnit
+from repro.obs.trace import (
+    ENGINE_TRACE_NAME,
+    MANIFEST_NAME,
+    TRACE_SCHEMA_VERSION,
+    load_trace,
+    load_run_traces,
+    recompute_counts,
+    safe_trace_name,
+    trace_controller,
+    unit_trace_path,
+    verify_trace,
+)
+from tests.conftest import ScriptedRole, StubEnvironment, constant_generator
+
+
+def _build_controller(steps=3):
+    monitor = ScriptedRole(
+        [
+            RoleResult(verdict=Verdict.FAIL, narrative="too close"),
+            RoleResult(verdict=Verdict.PASS),
+        ],
+        name="Monitor",
+        kind=RoleKind.SAFETY_MONITOR,
+    )
+    recovery = ScriptedRole(
+        [RoleResult(verdict=Verdict.WARNING, data={"action": "brake"})],
+        name="Recovery",
+        kind=RoleKind.RECOVERY_PLANNER,
+    )
+    return OrchestrationController(
+        [constant_generator("go"), monitor, recovery], StubEnvironment(steps=steps)
+    )
+
+
+def _traced_run(tmp_path, name="run-a", steps=3):
+    controller = _build_controller(steps=steps)
+    path = tmp_path / f"{name}.trace.jsonl"
+    recorder = trace_controller(controller, path, trace_id=name)
+    result = controller.run()
+    recorder.finalize(result.metrics)
+    return controller, result, path
+
+
+class TestTraceRecorder:
+    def test_header_and_footer(self, tmp_path):
+        _, result, path = _traced_run(tmp_path)
+        trace = load_trace(path)
+        assert trace.header["schema"] == TRACE_SCHEMA_VERSION
+        assert trace.header["trace_kind"] == "run"
+        assert trace.trace_id == "run-a"
+        assert trace.footer["metrics_summary"]["iterations_completed"] == result.iterations
+        assert trace.corrupt_lines == 0
+
+    def test_every_bus_event_recorded(self, tmp_path):
+        controller, _, path = _traced_run(tmp_path)
+        trace = load_trace(path)
+        assert len(trace.events) == len(controller.events.log)
+        assert [e["event"] for e in trace.events] == [
+            e.kind.value for e in controller.events.log
+        ]
+
+    def test_self_certifying(self, tmp_path):
+        _, result, path = _traced_run(tmp_path)
+        trace = load_trace(path)
+        ok, mismatches = verify_trace(trace)
+        assert ok and not mismatches
+        counts = recompute_counts(trace)
+        summary = result.metrics.summary()
+        assert counts["iterations_completed"] == summary["iterations_completed"]
+        assert counts["violation_counts"] == dict(summary["violation_counts"])
+        assert counts["fault_count"] == summary["fault_count"]
+        assert counts["recovery_activations"] == summary["recovery_activations"]
+
+    def test_span_nesting(self, tmp_path):
+        _, result, path = _traced_run(tmp_path)
+        trace = load_trace(path)
+        runs = [s for s in trace.spans if s["span_kind"] == "run"]
+        iterations = [s for s in trace.spans if s["span_kind"] == "iteration"]
+        roles = [s for s in trace.spans if s["span_kind"] == "role"]
+        assert len(runs) == 1
+        assert len(iterations) == result.iterations
+        # 3 roles per iteration, all executed.
+        assert len(roles) == 3 * result.iterations
+        run_id = runs[0]["span_id"]
+        assert all(s["parent_id"] == run_id for s in iterations)
+        iteration_ids = {s["span_id"] for s in iterations}
+        assert all(s["parent_id"] in iteration_ids for s in roles)
+        assert all(s["duration_s"] >= 0.0 for s in trace.spans)
+
+    def test_role_spans_carry_verdicts(self, tmp_path):
+        _, _, path = _traced_run(tmp_path)
+        trace = load_trace(path)
+        verdicts = {
+            s["attrs"]["verdict"]
+            for s in trace.spans
+            if s["span_kind"] == "role" and s["name"] == "Monitor"
+        }
+        assert verdicts == {"fail", "pass"}
+
+    def test_finalize_detaches(self, tmp_path):
+        controller = _build_controller()
+        path = tmp_path / "x.trace.jsonl"
+        recorder = trace_controller(controller, path)
+        result = controller.run()
+        recorder.finalize(result.metrics)
+        assert controller.tracer is None
+        written = path.read_text()
+        # Finalize is idempotent and the bus is unsubscribed: running again
+        # appends nothing to the closed trace.
+        recorder.finalize(result.metrics)
+        controller.run()
+        assert path.read_text() == written
+
+    def test_telemetry_counts_events(self, tmp_path):
+        controller, result, path = _traced_run(tmp_path)
+        telemetry = load_trace(path).telemetry()
+        assert telemetry is not None
+        assert (
+            telemetry.counter("events.role_executed").value == 3 * result.iterations
+        )
+        assert telemetry.histogram("role_latency_s.Monitor").count == result.iterations
+        assert telemetry.counter("violations.safety").value > 0
+
+    def test_zero_cost_when_disabled(self, tmp_path):
+        controller = _build_controller()
+        assert controller.tracer is None
+        controller.run()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_line_tolerated(self, tmp_path):
+        _, _, path = _traced_run(tmp_path)
+        with path.open("a") as fh:
+            fh.write("{truncated\n")
+        trace = load_trace(path)
+        assert trace.corrupt_lines == 1
+        assert verify_trace(trace)[0]
+
+
+class TestTraceNames:
+    def test_safe_name_sanitized(self):
+        name = safe_trace_name("nominal:3:abc/../x")
+        assert "/" not in name and ":" not in name
+        assert name.endswith(".trace.jsonl")
+
+    def test_distinct_keys_distinct_names(self):
+        # Sanitization collapses punctuation; the digest keeps names unique.
+        assert safe_trace_name("a:b") != safe_trace_name("a/b")
+
+    def test_unit_trace_path_under_units(self, tmp_path):
+        path = unit_trace_path(tmp_path, "nominal:0")
+        assert path.parent == tmp_path / "units"
+
+
+def square(payload):
+    return payload * payload
+
+
+def boom(payload):
+    raise ValueError("boom")
+
+
+class TestEngineTracer:
+    def test_engine_trace_and_manifest(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        units = [WorkUnit(key=f"sq:{i}", payload=i) for i in range(4)]
+        report = CampaignEngine(
+            square, EnginePolicy(jobs=1), progress=None, trace=trace_dir
+        ).run(units)
+        assert report.telemetry is not None
+        assert report.telemetry.counter("tasks.ok").value == 4
+        engine_trace = load_trace(trace_dir / ENGINE_TRACE_NAME)
+        assert engine_trace.trace_kind == "engine"
+        tasks = [s for s in engine_trace.spans if s["span_kind"] == "task"]
+        assert {s["name"] for s in tasks} == {u.key for u in units}
+        assert engine_trace.footer["campaign_summary"]["total"] == 4
+        manifest = json.loads((trace_dir / MANIFEST_NAME).read_text())
+        assert [e["key"] for e in manifest["traces"]] == [u.key for u in units]
+        # square() writes no per-unit run traces.
+        assert all(e["file"] is None for e in manifest["traces"])
+
+    def test_task_errors_and_retries_counted(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        report = CampaignEngine(
+            boom,
+            EnginePolicy(jobs=1, max_retries=2, retry_backoff_s=0.0),
+            progress=None,
+            trace=trace_dir,
+        ).run([WorkUnit(key="bad", payload=0)])
+        assert report.telemetry.counter("tasks.error").value == 1
+        assert report.telemetry.counter("tasks.retries").value == 2
+        engine_trace = load_trace(trace_dir / ENGINE_TRACE_NAME)
+        retries = [e for e in engine_trace.events if e["event"] == "task_retry"]
+        assert len(retries) == 2
+
+    def test_untraced_engine_writes_nothing(self, tmp_path):
+        report = CampaignEngine(square, EnginePolicy(jobs=1), progress=None).run(
+            [WorkUnit(key="sq:0", payload=2)]
+        )
+        assert report.telemetry is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDiscovery:
+    def test_manifest_order_respected(self, tmp_path):
+        for name in ("run-b", "run-a"):
+            _traced_run(tmp_path / "units", name=name)
+        runs = load_run_traces(tmp_path)
+        # Sorted by trace id regardless of discovery order.
+        assert [t.trace_id for t in runs] == ["run-a", "run-b"]
