@@ -9,6 +9,7 @@ from .errors import (
     ConfigurationError,
     DuraCPSError,
     EnvironmentInterfaceError,
+    ResilienceError,
     RoleExecutionError,
     SchedulingError,
     StateError,
@@ -18,6 +19,7 @@ from .metrics import (
     DependabilityMetrics,
     FaultRecord,
     RecoveryRecord,
+    RoleHealthRecord,
     ViolationRecord,
 )
 from .orchestrator import (
@@ -27,6 +29,13 @@ from .orchestrator import (
     TerminationReason,
 )
 from .report import build_markdown_report, build_report, metrics_digest
+from .resilience import (
+    ActionHold,
+    BreakerState,
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilienceCoordinator,
+)
 from .role import Role, RoleContext, RoleKind, RoleResult, Verdict
 from .scheduling import RoleGraph, ScheduledRole
 from .state import IterationRecord, StateManager
@@ -59,6 +68,12 @@ __all__ = [
     "ViolationRecord",
     "FaultRecord",
     "RecoveryRecord",
+    "RoleHealthRecord",
+    "ResilienceConfig",
+    "ResilienceCoordinator",
+    "CircuitBreaker",
+    "BreakerState",
+    "ActionHold",
     "Event",
     "EventBus",
     "EventKind",
@@ -74,6 +89,7 @@ __all__ = [
     "metrics_digest",
     "DuraCPSError",
     "ConfigurationError",
+    "ResilienceError",
     "SchedulingError",
     "RoleExecutionError",
     "EnvironmentInterfaceError",

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from .errors import ConfigurationError
+from .resilience import ResilienceConfig
 
 
 @dataclass
@@ -36,6 +37,12 @@ class OrchestratorConfig:
             extraction (tests, reports) relies on.
         role_config: free-form per-role settings, surfaced verbatim via
             ``RoleContext.config``.
+        resilience: containment policy wrapped around role execution —
+            per-role deadline budgets, Generator retry/circuit-breaker
+            with a fallback role, and the action-hold that replaces
+            ``apply_action(None)``.  ``None`` (the default) disables the
+            whole layer and preserves the legacy loop behaviour.  See
+            :class:`~repro.core.resilience.ResilienceConfig`.
     """
 
     max_iterations: Optional[int] = 2000
@@ -45,6 +52,7 @@ class OrchestratorConfig:
     keep_event_log: bool = True
     event_log_limit: Optional[int] = None
     role_config: Dict[str, Any] = field(default_factory=dict)
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_iterations is not None and self.max_iterations <= 0:

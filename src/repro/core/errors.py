@@ -20,6 +20,11 @@ class SchedulingError(ConfigurationError):
     """Role dependency graph is unsatisfiable (cycle, unknown role, ...)."""
 
 
+class ResilienceError(ConfigurationError):
+    """Invalid resilience policy (e.g. a circuit breaker with no fallback
+    role, or a fallback whose name collides with a scheduled role)."""
+
+
 class RoleExecutionError(DuraCPSError):
     """A role raised during execution.
 

@@ -23,9 +23,14 @@ class EventKind(enum.Enum):
     STATE_UPDATED = "state_updated"
     ROLE_EXECUTED = "role_executed"
     ROLE_SKIPPED = "role_skipped"
+    ROLE_RETRIED = "role_retried"
     VIOLATION_DETECTED = "violation_detected"
     FAULT_INJECTED = "fault_injected"
     RECOVERY_ACTIVATED = "recovery_activated"
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+    DEGRADED_MODE_ENTERED = "degraded_mode_entered"
+    DEGRADED_MODE_EXITED = "degraded_mode_exited"
+    ACTION_HELD = "action_held"
     ACTION_EXECUTED = "action_executed"
     ITERATION_FINISHED = "iteration_finished"
     RUN_TERMINATED = "run_terminated"

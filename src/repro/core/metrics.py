@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import statistics
 from collections import Counter, defaultdict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 
@@ -49,6 +49,23 @@ class RecoveryRecord:
 
 
 @dataclass
+class RoleHealthRecord:
+    """Resilience health accounting for one role (§III.B.5 extended).
+
+    Maintained by the orchestrator's resilience layer: executions that
+    raised (after retries) or overran their deadline budget count as
+    failures; ``consecutive_failures`` is what the circuit breaker trips
+    on and resets to zero on every healthy execution.
+    """
+
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    overruns: int = 0
+    retries: int = 0
+
+
+@dataclass
 class SeriesPoint:
     time: float
     value: float
@@ -66,6 +83,11 @@ class DependabilityMetrics:
         self._role_calls: Dict[str, int] = defaultdict(int)
         self._counters: Counter = Counter()
         self.iterations_completed = 0
+        #: Per-role resilience health (only roles the resilience layer
+        #: manages appear here; empty when the layer is disabled).
+        self.role_health: Dict[str, RoleHealthRecord] = {}
+        #: Final-known circuit-breaker state per guarded role.
+        self.breaker_states: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -104,6 +126,47 @@ class DependabilityMetrics:
     def increment(self, counter: str, by: int = 1) -> None:
         """Bump an arbitrary named counter."""
         self._counters[counter] += by
+
+    # ------------------------------------------------------------------
+    # resilience health accounting
+    # ------------------------------------------------------------------
+    def _health(self, role: str) -> RoleHealthRecord:
+        record = self.role_health.get(role)
+        if record is None:
+            record = self.role_health[role] = RoleHealthRecord()
+        return record
+
+    def record_role_success(self, role: str) -> None:
+        """A managed role executed healthily: reset its failure streak."""
+        health = self._health(role)
+        health.successes += 1
+        health.consecutive_failures = 0
+
+    def record_role_failure(self, role: str) -> None:
+        """A managed role raised (after retries) or overran its budget."""
+        health = self._health(role)
+        health.failures += 1
+        health.consecutive_failures += 1
+        self._counters["resilience.role_failures"] += 1
+
+    def record_retry(self, role: str) -> None:
+        """One retry attempt against a transient role exception."""
+        self._health(role).retries += 1
+        self._counters["resilience.retries"] += 1
+
+    def record_deadline_overrun(self, role: str) -> None:
+        """A role execution exceeded its wall-clock deadline budget."""
+        self._health(role).overruns += 1
+        self._counters["resilience.deadline_overruns"] += 1
+
+    def record_hold(self, held: bool) -> None:
+        """An action-hold fill: re-issued the last action (``held``) or
+        fell back to the configured safe action (budget exhausted)."""
+        self._counters["resilience.holds" if held else "resilience.hold_exhausted"] += 1
+
+    def set_breaker_state(self, role: str, state: str) -> None:
+        """Track the latest circuit-breaker state for ``role``."""
+        self.breaker_states[role] = state
 
     # ------------------------------------------------------------------
     # queries
@@ -177,9 +240,36 @@ class DependabilityMetrics:
     # ------------------------------------------------------------------
     # summary
     # ------------------------------------------------------------------
+    def resilience_summary(self) -> Dict[str, Any]:
+        """Structured resilience evidence: health, breaker, hold usage.
+
+        Empty when the resilience layer never engaged (keeps summaries of
+        legacy runs byte-identical to pre-resilience builds).
+        """
+        out: Dict[str, Any] = {}
+        if self.role_health:
+            out["role_health"] = {
+                name: asdict(health) for name, health in sorted(self.role_health.items())
+            }
+        if self.breaker_states:
+            out["breaker_states"] = dict(sorted(self.breaker_states.items()))
+        for counter, key in (
+            ("resilience.deadline_overruns", "deadline_overruns"),
+            ("resilience.retries", "retries"),
+            ("resilience.holds", "holds"),
+            ("resilience.hold_exhausted", "hold_exhausted"),
+            ("resilience.degraded.entered", "degraded_entered"),
+            ("resilience.degraded.exited", "degraded_exited"),
+            ("resilience.degraded.iterations", "degraded_iterations"),
+        ):
+            value = self.count(counter)
+            if value:
+                out[key] = value
+        return out
+
     def summary(self) -> Dict[str, Any]:
         """JSON-friendly snapshot of everything collected."""
-        return {
+        base = {
             "iterations_completed": self.iterations_completed,
             "violation_counts": self.violation_counts,
             "fault_count": len(self.faults),
@@ -188,3 +278,7 @@ class DependabilityMetrics:
             "series": {name: self.series_summary(name) for name in self._series},
             "role_timings": self.role_timings(),
         }
+        resilience = self.resilience_summary()
+        if resilience:
+            base["resilience"] = resilience
+        return base

@@ -19,9 +19,10 @@ from typing import Any, Dict, List, Optional
 
 from ..env.interface import EnvironmentInterface
 from .config import OrchestratorConfig
-from .errors import ConfigurationError, RoleExecutionError
+from .errors import ConfigurationError, ResilienceError, RoleExecutionError
 from .events import Event, EventBus, EventKind
 from .metrics import DependabilityMetrics
+from .resilience import HOLD, ResilienceCoordinator
 from .role import Role, RoleContext, RoleKind, RoleResult, Verdict
 from .scheduling import RoleGraph, ScheduledRole
 from .state import StateManager
@@ -102,6 +103,21 @@ class OrchestrationController:
             raise ConfigurationError(
                 "the role set must include a Generator (the AI under test)"
             )
+        #: Resilience layer (deadlines, breaker + fallback, action-hold);
+        #: ``None`` when ``config.resilience`` is unset keeps the legacy
+        #: loop behaviour bit-for-bit.
+        self.resilience: Optional[ResilienceCoordinator] = (
+            ResilienceCoordinator(self.config.resilience)
+            if self.config.resilience is not None
+            else None
+        )
+        if self.resilience is not None:
+            fallback = self.resilience.config.fallback
+            if fallback is not None and fallback.name in self.graph:
+                raise ResilienceError(
+                    f"fallback role {fallback.name!r} collides with a scheduled "
+                    "role; the fallback must stay outside the role graph"
+                )
 
     # ------------------------------------------------------------------
     # main loop
@@ -113,6 +129,8 @@ class OrchestrationController:
         self.metrics = DependabilityMetrics()
         for scheduled in self._order:
             scheduled.role.reset()
+        if self.resilience is not None:
+            self.resilience.reset()
         self.environment.reset()
 
         iteration = 0
@@ -178,6 +196,28 @@ class OrchestrationController:
         # Steps 6-7: feedback processing, decision and adaptation.
         action, source = self._decide_action()
 
+        # Containment: never hand the environment a missing decision when
+        # an action-hold policy is configured — re-issue the last executed
+        # action (bounded), then the configured safe action.
+        if self.resilience is not None:
+            if action is None:
+                hold = self.resilience.hold
+                action, policy = hold.fill()
+                held = policy == HOLD
+                source = "action-hold" if held else "safe-action"
+                self.metrics.record_hold(held)
+                self._publish(
+                    EventKind.ACTION_HELD,
+                    iteration,
+                    payload={
+                        "policy": policy,
+                        "action": self._describe_action(action),
+                        "consecutive_holds": hold.consecutive_holds,
+                    },
+                )
+            else:
+                self.resilience.hold.note_executed(action)
+
         # Step 8: action execution.
         env.apply_action(action)
         self._publish(
@@ -193,36 +233,157 @@ class OrchestrationController:
         return violation
 
     def _execute_role(self, scheduled: ScheduledRole, iteration: int) -> bool:
+        resilience = self.resilience
+        deadline_ms = (
+            resilience.deadline_for(scheduled.name) if resilience is not None else None
+        )
         context = RoleContext(
             state=self.state,
             metrics=self.metrics,
             iteration=iteration,
             time=self.environment.time,
             config=self.config.role_config,
+            deadline_ms=deadline_ms,
         )
         if not scheduled.trigger.should_run(context):
             self._publish(EventKind.ROLE_SKIPPED, iteration, role=scheduled.name)
             return False
 
         role = scheduled.role
+        is_generator = role.kind is RoleKind.GENERATOR
+        breaker = (
+            resilience.breaker_for(role.name)
+            if resilience is not None and is_generator
+            else None
+        )
+
+        # Degraded mode: while the breaker is open, the guarded Generator
+        # is not consulted at all — the registered fallback runs instead.
+        if breaker is not None and breaker.use_fallback(iteration):
+            fallback = resilience.config.fallback
+            self.metrics.increment("resilience.degraded.iterations")
+            self.metrics.set_breaker_state(role.name, breaker.state.value)
+            self._publish(
+                EventKind.ROLE_SKIPPED,
+                iteration,
+                role=role.name,
+                payload={"reason": "breaker_open", "fallback": fallback.name},
+            )
+            context.deadline_ms = resilience.deadline_for(fallback.name)
+            violation, _ = self._run_role_body(
+                fallback,
+                context,
+                iteration,
+                deadline_ms=context.deadline_ms,
+            )
+            return violation
+
+        retries = (
+            resilience.config.max_retries
+            if resilience is not None and is_generator
+            else 0
+        )
+        violation, ok = self._run_role_body(
+            role,
+            context,
+            iteration,
+            deadline_ms=deadline_ms,
+            retries=retries,
+            absorb_errors=breaker is not None,
+        )
+
+        if resilience is not None and is_generator:
+            if ok:
+                self.metrics.record_role_success(role.name)
+            else:
+                self.metrics.record_role_failure(role.name)
+            if breaker is not None:
+                if ok:
+                    if breaker.record_success():
+                        self.metrics.increment("resilience.degraded.exited")
+                        self._publish(
+                            EventKind.DEGRADED_MODE_EXITED,
+                            iteration,
+                            role=role.name,
+                            payload={
+                                "degraded_iterations": breaker.degraded_iterations,
+                            },
+                        )
+                elif breaker.record_failure(iteration):
+                    self.metrics.increment("resilience.degraded.entered")
+                    self._publish(
+                        EventKind.DEGRADED_MODE_ENTERED,
+                        iteration,
+                        role=role.name,
+                        payload={
+                            "consecutive_failures": breaker.consecutive_failures,
+                            "cooldown_iterations": breaker.cooldown,
+                            "fallback": resilience.config.fallback.name,
+                        },
+                    )
+                self.metrics.set_breaker_state(role.name, breaker.state.value)
+        return violation
+
+    def _run_role_body(
+        self,
+        role: Role,
+        context: RoleContext,
+        iteration: int,
+        *,
+        deadline_ms: Optional[float] = None,
+        retries: int = 0,
+        absorb_errors: bool = False,
+    ) -> "tuple[bool, bool]":
+        """Execute ``role`` once (with optional retries) and post-process.
+
+        Returns ``(violation, ok)`` where ``violation`` feeds the loop's
+        halt-on-violation decision and ``ok`` is the resilience health
+        signal: True iff the role neither raised (after retries) nor
+        overran its deadline budget.
+
+        ``absorb_errors=True`` (breaker-guarded roles) turns a terminal
+        exception into a recorded ``role_error`` violation regardless of
+        ``continue_on_role_error`` — the breaker exists precisely to
+        contain that role's failures, so they must not tear down the loop.
+        """
         faults_before = len(self.metrics.faults)
+        error: Optional[BaseException] = None
+        result: Optional[RoleResult] = None
         started = wall_clock.perf_counter()
-        try:
-            result = role.execute(context)
-        except Exception as exc:  # noqa: BLE001 - boundary: roles are user code
-            if not self.config.continue_on_role_error:
-                raise RoleExecutionError(role.name, exc) from exc
+        for attempt in range(retries + 1):
+            try:
+                result = role.execute(context)
+                error = None
+                break
+            except Exception as exc:  # noqa: BLE001 - boundary: roles are user code
+                error = exc
+                if attempt >= retries:
+                    break
+                self.metrics.record_retry(role.name)
+                self._publish(
+                    EventKind.ROLE_RETRIED,
+                    iteration,
+                    role=role.name,
+                    payload={"attempt": attempt + 1, "error": repr(exc)},
+                )
+                backoff = self.resilience.config.backoff_s(attempt)
+                if backoff > 0:
+                    wall_clock.sleep(backoff)
+        elapsed = wall_clock.perf_counter() - started
+
+        if error is not None:
+            if not absorb_errors and not self.config.continue_on_role_error:
+                raise RoleExecutionError(role.name, error) from error
             self.metrics.record_violation(
-                "role_error", role.name, iteration, self.environment.time, detail=repr(exc)
+                "role_error", role.name, iteration, self.environment.time, detail=repr(error)
             )
             self._publish(
                 EventKind.VIOLATION_DETECTED,
                 iteration,
                 role=role.name,
-                payload={"category": "role_error", "detail": repr(exc)},
+                payload={"category": "role_error", "detail": repr(error)},
             )
-            result = RoleResult(verdict=Verdict.WARNING, narrative=f"role error: {exc!r}")
-        elapsed = wall_clock.perf_counter() - started
+            result = RoleResult(verdict=Verdict.WARNING, narrative=f"role error: {error!r}")
         self.metrics.record_role_timing(role.name, elapsed)
 
         if not isinstance(result, RoleResult):
@@ -255,6 +416,36 @@ class OrchestrationController:
             payload={"verdict": result.verdict.value, "elapsed_s": elapsed},
         )
 
+        violation = error is not None  # a role error counts as a violation
+        overrun = (
+            deadline_ms is not None
+            and error is None
+            and elapsed * 1000.0 > deadline_ms
+        )
+        if overrun:
+            elapsed_ms = elapsed * 1000.0
+            self.metrics.record_deadline_overrun(role.name)
+            self._publish(
+                EventKind.DEADLINE_EXCEEDED,
+                iteration,
+                role=role.name,
+                payload={"budget_ms": deadline_ms, "elapsed_ms": elapsed_ms},
+            )
+            detail = (
+                f"deadline exceeded: {elapsed_ms:.2f} ms > "
+                f"{deadline_ms:.2f} ms budget"
+            )
+            self.metrics.record_violation(
+                "performance", role.name, iteration, self.environment.time, detail=detail
+            )
+            self._publish(
+                EventKind.VIOLATION_DETECTED,
+                iteration,
+                role=role.name,
+                payload={"category": "performance", "detail": detail},
+            )
+            violation = True
+
         if result.verdict.is_violation:
             category = _VIOLATION_CATEGORY.get(role.kind, "generic")
             self.metrics.record_violation(
@@ -266,8 +457,8 @@ class OrchestrationController:
                 role=role.name,
                 payload={"category": category, "detail": result.narrative},
             )
-            return True
-        return False
+            violation = True
+        return violation, error is None and not overrun
 
     # ------------------------------------------------------------------
     # decision and adaptation (step 7)
@@ -277,25 +468,37 @@ class OrchestrationController:
 
         The paper's use case states the recovery action "overrides all
         other actions" (Fig. 3); a RecoveryPlanner that ran and proposed an
-        action therefore wins.  Otherwise the (first) Generator's proposal
-        is approved.
+        action therefore wins.  Otherwise the first Generator that proposed
+        a *non-None* action is approved — a Generator whose result carries
+        no ``action`` does not mask a later Generator's proposal (it merely
+        abstained this iteration).  The resilience fallback role, which
+        executes outside the role graph, is considered after all scheduled
+        Generators.
         """
+        candidates: "List[tuple[str, RoleKind]]" = [
+            (scheduled.name, scheduled.role.kind) for scheduled in self._order
+        ]
+        if self.resilience is not None and self.resilience.config.fallback is not None:
+            candidates.append((self.resilience.config.fallback.name, RoleKind.GENERATOR))
+
         recovery_action = None
         recovery_role = ""
         generator_action = None
         generator_role = ""
-        for scheduled in self._order:
-            result = self.state.output_of(scheduled.name)
+        for name, kind in candidates:
+            result = self.state.output_of(name)
             if result is None:
                 continue
-            if scheduled.role.kind is RoleKind.RECOVERY_PLANNER:
+            if kind is RoleKind.RECOVERY_PLANNER:
                 proposed = result.data.get(ACTION_KEY)
                 if proposed is not None and recovery_action is None:
                     recovery_action = proposed
-                    recovery_role = scheduled.name
-            elif scheduled.role.kind is RoleKind.GENERATOR and generator_action is None:
-                generator_action = result.data.get(ACTION_KEY)
-                generator_role = scheduled.name
+                    recovery_role = name
+            elif kind is RoleKind.GENERATOR and generator_action is None:
+                proposed = result.data.get(ACTION_KEY)
+                if proposed is not None:
+                    generator_action = proposed
+                    generator_role = name
 
         if recovery_action is not None:
             self.metrics.record_recovery(

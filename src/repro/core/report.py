@@ -93,6 +93,30 @@ def build_report(
             )
     lines.append("")
 
+    resilience = metrics.resilience_summary()
+    if resilience:
+        lines += _heading("Resilience")
+        for key in (
+            "deadline_overruns",
+            "retries",
+            "holds",
+            "hold_exhausted",
+            "degraded_entered",
+            "degraded_exited",
+            "degraded_iterations",
+        ):
+            if key in resilience:
+                lines.append(f"{key:<19}: {resilience[key]}")
+        for role, state in resilience.get("breaker_states", {}).items():
+            lines.append(f"breaker[{role}]: {state}")
+        for role, health in resilience.get("role_health", {}).items():
+            lines.append(
+                f"health[{role}]: ok={health['successes']} fail={health['failures']} "
+                f"streak={health['consecutive_failures']} overruns={health['overruns']} "
+                f"retries={health['retries']}"
+            )
+        lines.append("")
+
     lines += _heading("Role processing time")
     timings = metrics.role_timings()
     if not timings:
@@ -193,6 +217,25 @@ def build_markdown_report(
         prevented = sum(1 for o in outcomes if o)
         lines.append(f"- Collision-free after activation: **{prevented}/{len(outcomes)}**")
     lines.append("")
+
+    resilience = metrics.resilience_summary()
+    if resilience:
+        lines.append("## Resilience")
+        lines.append("")
+        for key, label in (
+            ("deadline_overruns", "Deadline overruns"),
+            ("retries", "Generator retries"),
+            ("holds", "Action holds"),
+            ("hold_exhausted", "Hold budget exhaustions"),
+            ("degraded_entered", "Degraded-mode entries"),
+            ("degraded_exited", "Degraded-mode exits"),
+            ("degraded_iterations", "Iterations in degraded mode"),
+        ):
+            if key in resilience:
+                lines.append(f"- {label}: **{resilience[key]}**")
+        for role, state in resilience.get("breaker_states", {}).items():
+            lines.append(f"- Breaker `{role}`: **{state}**")
+        lines.append("")
 
     if telemetry is not None:
         lines.append("## Telemetry digest")

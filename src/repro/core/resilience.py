@@ -1,0 +1,299 @@
+"""Resilience layer: containment policies wrapped around role execution.
+
+The assurance loop runs on a hard real-time cadence (the use case's 100 ms
+control step), yet the AI component Under Test is the least dependable part
+of the stack: an LLM planner can stall, crash, or simply take too long.
+This module gives the :class:`~repro.core.orchestrator.OrchestrationController`
+four containment mechanisms, all deterministic and all evidence-producing:
+
+**Deadline budgets**
+    Every role execution gets a wall-clock budget derived from the control
+    step (:attr:`ResilienceConfig.deadline_ms`, with per-role overrides).
+    An overrun is recorded as a ``performance`` violation and published as
+    a ``DEADLINE_EXCEEDED`` event — timing-contract violations become
+    first-class assurance evidence instead of silent latency.
+
+**Retry with backoff**
+    Transient Generator exceptions are retried up to
+    :attr:`ResilienceConfig.max_retries` times (``ROLE_RETRIED`` events,
+    optional exponential backoff) before counting as a failure.
+
+**Circuit breaker with rule-based fallback**
+    After :attr:`ResilienceConfig.breaker_threshold` *consecutive*
+    Generator failures or overruns the breaker opens: the AUT is taken out
+    of the loop and the registered :attr:`ResilienceConfig.fallback` role
+    (typically a :class:`~repro.roles.generator.RuleBasedPlannerRole`)
+    plans instead, for :attr:`ResilienceConfig.breaker_cooldown`
+    iterations.  The breaker then half-opens and probes the real Generator
+    again: one success closes it, one failure re-opens it.  Entry and exit
+    are published as ``DEGRADED_MODE_ENTERED`` / ``DEGRADED_MODE_EXITED``.
+
+**Action hold**
+    When no role produced an action this iteration, the controller
+    re-issues the last action it actually executed — bounded by
+    :attr:`ResilienceConfig.max_hold` consecutive holds — and then falls
+    back to :attr:`ResilienceConfig.safe_action` (``Maneuver.WAIT`` in the
+    intersection campaign).  This replaces the old behaviour of handing
+    ``apply_action(None)`` to the environment, which let the ego silently
+    coast into the intersection.
+
+Cooldown and hold bookkeeping are iteration-based, never wall-clock-based,
+so a resilient campaign remains byte-identical between serial and parallel
+execution.  Everything here is opt-in: ``OrchestratorConfig.resilience``
+defaults to ``None`` and the controller then behaves exactly as before.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from .errors import ConfigurationError, ResilienceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .role import Role
+
+
+@dataclass
+class ResilienceConfig:
+    """Containment policy for one orchestration run.
+
+    Attributes:
+        deadline_ms: default per-role wall-clock budget in milliseconds,
+            derived from the control step (the paper's 100 ms).  ``None``
+            disables deadline enforcement entirely.
+        role_deadlines_ms: per-role budget overrides (role name -> ms);
+            roles not listed use ``deadline_ms``.
+        max_retries: transient-exception retries for Generator roles
+            (0 = first exception counts immediately).
+        retry_backoff_s: sleep before retry attempt *n* is
+            ``retry_backoff_s * 2**n`` seconds; 0 retries immediately
+            (keeps tests and simulated campaigns deterministic and fast).
+        breaker_threshold: consecutive Generator failures/overruns that
+            open the circuit breaker; ``None`` disables the breaker.
+            Requires ``fallback``.
+        breaker_cooldown: iterations the breaker stays open (the fallback
+            plans) before half-opening to probe the real Generator.
+        fallback: the degraded-mode Generator role.  It must *not* be part
+            of the role graph — the controller executes it in place of the
+            broken Generator while the breaker is open.
+        max_hold: consecutive iterations the last executed action may be
+            re-issued when no role produced one.
+        safe_action: applied once the hold budget is exhausted (or when
+            there is no previous action to hold).  ``None`` degrades to
+            the legacy ``apply_action(None)`` as the very last resort.
+    """
+
+    deadline_ms: Optional[float] = None
+    role_deadlines_ms: Dict[str, float] = field(default_factory=dict)
+    max_retries: int = 0
+    retry_backoff_s: float = 0.0
+    breaker_threshold: Optional[int] = None
+    breaker_cooldown: int = 20
+    fallback: Optional["Role"] = None
+    max_hold: int = 3
+    safe_action: Any = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be positive or None, got {self.deadline_ms}"
+            )
+        for role, budget in self.role_deadlines_ms.items():
+            if budget <= 0:
+                raise ConfigurationError(
+                    f"role deadline for {role!r} must be positive, got {budget}"
+                )
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1 or None, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown < 1:
+            raise ConfigurationError(
+                f"breaker_cooldown must be >= 1, got {self.breaker_cooldown}"
+            )
+        if self.max_hold < 0:
+            raise ConfigurationError(f"max_hold must be >= 0, got {self.max_hold}")
+        if self.breaker_threshold is not None and self.fallback is None:
+            raise ResilienceError(
+                "a circuit breaker needs a registered fallback role "
+                "(set ResilienceConfig.fallback, e.g. a RuleBasedPlannerRole)"
+            )
+
+    def deadline_for(self, role_name: str) -> Optional[float]:
+        """The wall-clock budget (ms) granted to ``role_name``."""
+        override = self.role_deadlines_ms.get(role_name)
+        return override if override is not None else self.deadline_ms
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (0-based): exponential backoff."""
+        return self.retry_backoff_s * (2.0 ** attempt)
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker state machine states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with iteration-based cooldown.
+
+    CLOSED --(threshold consecutive failures)--> OPEN
+    OPEN   --(cooldown iterations elapsed)-----> HALF_OPEN (probe)
+    HALF_OPEN --success--> CLOSED  |  --failure--> OPEN (no new entry)
+
+    Cooldown is measured in loop iterations, not wall-clock time, so the
+    breaker's decisions are reproducible run-to-run.
+    """
+
+    def __init__(self, threshold: int, cooldown: int) -> None:
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 1:
+            raise ConfigurationError(f"cooldown must be >= 1, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_iteration: Optional[int] = None
+        self.entries = 0
+        self.exits = 0
+        self.degraded_iterations = 0
+
+    def use_fallback(self, iteration: int) -> bool:
+        """Decide, at the Generator's slot, whether this iteration is degraded.
+
+        Returns True while the breaker is open (the fallback should plan).
+        Once the cooldown elapses the breaker half-opens and returns False
+        so the caller probes the real Generator.
+        """
+        if self.state is not BreakerState.OPEN:
+            return False
+        assert self.opened_iteration is not None
+        if iteration - self.opened_iteration >= self.cooldown:
+            self.state = BreakerState.HALF_OPEN
+            return False
+        self.degraded_iterations += 1
+        return True
+
+    def record_success(self) -> bool:
+        """Note a healthy execution; True when it closed a half-open breaker."""
+        recovered = self.state is BreakerState.HALF_OPEN
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_iteration = None
+        if recovered:
+            self.exits += 1
+        return recovered
+
+    def record_failure(self, iteration: int) -> bool:
+        """Note a failure/overrun; True when it newly opened the breaker.
+
+        A failed half-open probe re-opens the breaker for another cooldown
+        but is *not* a new degraded-mode entry (the mode never exited).
+        """
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.OPEN
+            self.opened_iteration = iteration
+            return False
+        if self.state is BreakerState.CLOSED and self.consecutive_failures >= self.threshold:
+            self.state = BreakerState.OPEN
+            self.opened_iteration = iteration
+            self.entries += 1
+            return True
+        return False
+
+
+#: Policies :meth:`ActionHold.fill` can answer with.
+HOLD = "hold"
+SAFE_ACTION = "safe_action"
+
+
+class ActionHold:
+    """Re-issue the last executed action when the loop produced none.
+
+    Bounded: after ``max_hold`` consecutive holds the configured
+    ``safe_action`` is used instead (and keeps being used until a role
+    produces a fresh action, which resets the hold budget).
+    """
+
+    def __init__(self, max_hold: int, safe_action: Any = None) -> None:
+        self.max_hold = max_hold
+        self.safe_action = safe_action
+        self.last_action: Any = None
+        self.consecutive_holds = 0
+        self.total_holds = 0
+        self.exhausted_fills = 0
+
+    def note_executed(self, action: Any) -> None:
+        """Record an action a role actually produced and the loop executed."""
+        if action is not None:
+            self.last_action = action
+            self.consecutive_holds = 0
+
+    def fill(self) -> Tuple[Any, str]:
+        """The action to execute when no role produced one.
+
+        Returns ``(action, policy)`` where policy is :data:`HOLD` when the
+        last executed action is re-issued and :data:`SAFE_ACTION` once the
+        hold budget is exhausted (or nothing was ever executed).
+        """
+        if self.last_action is not None and self.consecutive_holds < self.max_hold:
+            self.consecutive_holds += 1
+            self.total_holds += 1
+            return self.last_action, HOLD
+        self.exhausted_fills += 1
+        return self.safe_action, SAFE_ACTION
+
+
+class ResilienceCoordinator:
+    """Per-run resilience state: breakers (per Generator), hold, budgets.
+
+    Owned by the controller; :meth:`reset` restores a pristine state at
+    every ``run()`` so controllers stay re-runnable.
+    """
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self.config = config
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.hold = ActionHold(config.max_hold, config.safe_action)
+
+    def reset(self) -> None:
+        self._breakers.clear()
+        self.hold = ActionHold(self.config.max_hold, self.config.safe_action)
+        if self.config.fallback is not None:
+            self.config.fallback.reset()
+
+    def breaker_for(self, role_name: str) -> Optional[CircuitBreaker]:
+        """The (lazily created) breaker guarding ``role_name``.
+
+        ``None`` when the breaker policy is disabled.
+        """
+        if self.config.breaker_threshold is None:
+            return None
+        breaker = self._breakers.get(role_name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.config.breaker_threshold, self.config.breaker_cooldown
+            )
+            self._breakers[role_name] = breaker
+        return breaker
+
+    def deadline_for(self, role_name: str) -> Optional[float]:
+        return self.config.deadline_for(role_name)
+
+    @property
+    def breakers(self) -> Dict[str, CircuitBreaker]:
+        """Live breaker map (role name -> breaker), for inspection."""
+        return dict(self._breakers)

@@ -96,6 +96,10 @@ class RoleContext:
         iteration: current assurance-loop iteration (0-based).
         time: current simulated time in seconds.
         config: orchestrator-level configuration values roles may consult.
+        deadline_ms: wall-clock budget (milliseconds) the orchestrator's
+            resilience layer grants this execution, or ``None`` when
+            deadlines are not enforced.  Roles with tunable depth (sample
+            counts, search horizons) may consult it to stay in budget.
     """
 
     state: "StateManager"
@@ -103,6 +107,7 @@ class RoleContext:
     iteration: int
     time: float
     config: Dict[str, Any] = field(default_factory=dict)
+    deadline_ms: Optional[float] = None
 
 
 class Role(abc.ABC):

@@ -83,6 +83,7 @@ class IntersectionSimInterface(EnvironmentInterface):
         self._noise_rng = random.Random(spec.seed * 65537 + 7)
         self._last_maneuver: Optional[Maneuver] = None
         self._last_snapshot: Optional[PerceptionSnapshot] = None
+        self._coast_warned = False
 
     # ------------------------------------------------------------------
     # EnvironmentInterface contract
@@ -96,6 +97,7 @@ class IntersectionSimInterface(EnvironmentInterface):
         self._noise_rng = random.Random(self.spec.seed * 65537 + 7)
         self._last_maneuver = None
         self._last_snapshot = None
+        self._coast_warned = False
 
     def _apply_measurement_noise(self, snapshot: PerceptionSnapshot) -> PerceptionSnapshot:
         if self.position_sigma <= 0.0 and self.velocity_sigma <= 0.0:
@@ -151,9 +153,23 @@ class IntersectionSimInterface(EnvironmentInterface):
     EMERGENCY_JERK_LIMIT = 20.0
 
     def apply_action(self, action: Any) -> None:
+        """Translate an approved maneuver into an ego acceleration command.
+
+        ``action=None`` (no decision produced this tick) coasts: the ego
+        holds its current speed.  That is an uncontrolled default — runs
+        with a resilience action-hold policy configured never reach it —
+        so the first occurrence per run is logged at WARNING.
+        """
         ego = self.world.ego
         if action is None:
-            # No decision available: hold speed (coast).
+            if not self._coast_warned:
+                self._coast_warned = True
+                logger.warning(
+                    "apply_action(None) at t=%.1fs: no decision this tick, "
+                    "ego coasts at current speed (configure a resilience "
+                    "action-hold policy to substitute a safe action)",
+                    self.world.time,
+                )
             ego.apply_acceleration(0.0)
             return
         if not isinstance(action, Maneuver):

@@ -8,11 +8,14 @@
    the §IV.A.1 rationale: the LLM is deliberately the weaker planner).
 4. **Recovery strategy** — the paper's emergency brake vs the graded
    replanning §V.D motivates as future work.
+5. **Degradation policy** — an injected Generator outage with vs without
+   the circuit breaker + rule-based fallback: does graceful degradation
+   keep the run controlled?
 
 Run as a script::
 
     python -m repro.experiments.ablations [--seeds N] [--jobs N] \
-        [--which all|recovery|horizon|planner|strategy]
+        [--which all|recovery|horizon|planner|strategy|degradation]
 """
 
 from __future__ import annotations
@@ -194,11 +197,60 @@ def recovery_strategy_ablation(
     )
 
 
+def degradation_ablation(
+    seeds: Sequence[int] = tuple(range(8)),
+    scenarios: Sequence[ScenarioType] = (ScenarioType.NOMINAL,),
+    jobs: int = 1,
+    crash_window: "tuple[int, int]" = (20, 45),
+) -> str:
+    """Generator outage with vs without the circuit breaker (resilience).
+
+    Both arms inject the same deterministic outage (the Generator raises
+    for every iteration in ``crash_window``).  The *tolerate* arm only
+    logs the errors as ``role_error`` violations — each affected tick
+    falls back to the action-hold.  The *breaker* arm retries once, trips
+    the breaker after 3 consecutive failures, runs the rule-based
+    fallback planner during cooldown, and recovers when the outage ends.
+    """
+    rows = []
+    arms = (
+        ("tolerate", CampaignOptions(crash_window=crash_window, continue_on_role_error=True)),
+        ("breaker", CampaignOptions(crash_window=crash_window, breaker=True)),
+    )
+    for label, options in arms:
+        results = run_suite(scenarios, seeds, options, jobs=jobs)
+        outcomes: List[RunOutcome] = [o for group in results.values() for o in group]
+        n = len(outcomes)
+        rows.append(
+            [
+                label,
+                f"{100.0 * sum(o.collision for o in outcomes) / n:.1f}%",
+                f"{100.0 * sum(o.cleared for o in outcomes) / n:.1f}%",
+                f"{sum(o.action_holds for o in outcomes) / n:.1f}",
+                f"{sum(o.degraded_entered for o in outcomes) / n:.2f}",
+                f"{sum(o.generator_retries for o in outcomes) / n:.1f}",
+            ]
+        )
+    return render_table(
+        headers=[
+            "Outage policy",
+            "Collision rate",
+            "Cleared",
+            "Action holds / run",
+            "Breaker entries / run",
+            "Retries / run",
+        ],
+        rows=rows,
+        title="Ablation 5: Generator outage — tolerate vs circuit breaker",
+    )
+
+
 _ABLATIONS: Dict[str, "object"] = {
     "recovery": recovery_ablation,
     "horizon": horizon_ablation,
     "planner": planner_ablation,
     "strategy": recovery_strategy_ablation,
+    "degradation": degradation_ablation,
 }
 
 
@@ -214,7 +266,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     names = sorted(_ABLATIONS) if args.which == "all" else [args.which]
     for name in names:
         fn = _ABLATIONS[name]
-        if name in ("horizon", "strategy"):
+        if name in ("horizon", "strategy", "degradation"):
             print(fn(seeds=seeds[: max(5, len(seeds) * 2 // 3)], jobs=args.jobs))
         else:
             print(fn(seeds=seeds, jobs=args.jobs))

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core import (
     OrchestrationController,
     OrchestratorConfig,
+    ResilienceConfig,
     RoleGraph,
 )
 from ..env.sim_interface import IntersectionSimInterface
@@ -36,8 +37,10 @@ from ..roles.fault_injector import FaultInjectorRole, FaultPipeline
 from ..roles.generator import LLMGeneratorRole, RuleBasedPlannerRole
 from ..roles.performance_oracle import IntersectionPerformanceOracle
 from ..roles.recovery_planner import EmergencyBrakeRecovery, ReplanRecovery
+from ..roles.registry import create_fallback
 from ..roles.safety_monitor import GeometricSafetyMonitor
 from ..roles.security_assessor import ScriptedSecurityAssessor
+from ..sim.actions import Maneuver
 from ..sim.scenario import AttackKind, ScenarioSpec, ScenarioType, build_scenario
 
 #: The paper's per-scenario seed set (15 runs per scenario, §V).  Every
@@ -57,6 +60,19 @@ class CampaignOptions:
         surrogate_config: overrides for the surrogate's behaviour model.
         monitor_horizon_s: SafetyMonitor look-ahead (ablation 2).
         halt_on_violation: stop the loop at the first FAIL verdict.
+        deadline_ms: optional per-role wall-clock budget derived from the
+            100 ms control step; overruns become ``performance``
+            violations.  ``None`` disables deadline enforcement (keeps
+            runs deterministic regardless of host load).
+        breaker: guard the Generator with retry + circuit breaker that
+            degrades to the rule-based fallback planner after repeated
+            failures.
+        crash_window: ``(start, stop)`` iteration interval in which the
+            LLM Generator raises (injected outage) — the resilience
+            experiments' fault source.  Ignored for the rule planner.
+        continue_on_role_error: tolerate raising roles as ``role_error``
+            violations instead of aborting the run (required to observe
+            the no-breaker arm of the degradation ablation).
     """
 
     use_recovery: bool = True
@@ -65,6 +81,10 @@ class CampaignOptions:
     surrogate_config: Optional[SurrogateConfig] = None
     monitor_horizon_s: float = 1.0
     halt_on_violation: bool = False
+    deadline_ms: Optional[float] = None
+    breaker: bool = False
+    crash_window: Optional[Tuple[int, int]] = None
+    continue_on_role_error: bool = False
 
 
 @dataclass
@@ -88,6 +108,12 @@ class RunOutcome:
     #: Path of the run's trace file, when the run was traced (defaulted so
     #: journals written before tracing existed still decode).
     trace_file: Optional[str] = None
+    #: Resilience evidence (defaulted so pre-resilience journals decode).
+    degraded_entered: int = 0
+    degraded_exited: int = 0
+    action_holds: int = 0
+    deadline_overruns: int = 0
+    generator_retries: int = 0
 
     @property
     def cleared(self) -> bool:
@@ -96,6 +122,7 @@ class RunOutcome:
 
 #: Role names used across the campaign (tests rely on these).
 GENERATOR = "Generator"
+FALLBACK_PLANNER = "FallbackPlanner"
 SAFETY_MONITOR = "SafetyMonitor"
 SECURITY_ASSESSOR = "SecurityAssessor"
 FAULT_INJECTOR = "FaultInjector"
@@ -114,7 +141,9 @@ def build_controller(
 
     if options.planner == "llm":
         planner = LLMPlanner(config=options.surrogate_config, seed=spec.seed)
-        generator = LLMGeneratorRole(planner=planner, name=GENERATOR)
+        generator = LLMGeneratorRole(
+            planner=planner, name=GENERATOR, crash_window=options.crash_window
+        )
     elif options.planner == "rule":
         generator = RuleBasedPlannerRole(name=GENERATOR)
     else:
@@ -153,9 +182,26 @@ def build_controller(
                 "(use 'brake' or 'replan')"
             )
 
+    # The campaign always arms the action-hold containment (a nominal run
+    # never produces a missing decision, so this is free); deadlines and
+    # the Generator circuit breaker stay opt-in.
+    resilience_kwargs: Dict[str, object] = {
+        "deadline_ms": options.deadline_ms,
+        "safe_action": Maneuver.WAIT,
+        "max_hold": 3,
+    }
+    if options.breaker:
+        resilience_kwargs.update(
+            breaker_threshold=3,
+            breaker_cooldown=25,
+            max_retries=1,
+            fallback=create_fallback(name=FALLBACK_PLANNER),
+        )
     config = OrchestratorConfig(
         max_iterations=int(spec.timeout_s / 0.1) + 10,
         halt_on_violation=options.halt_on_violation,
+        continue_on_role_error=options.continue_on_role_error,
+        resilience=ResilienceConfig(**resilience_kwargs),
     )
     return OrchestrationController(RoleGraph.sequential(roles), environment, config)
 
@@ -216,6 +262,12 @@ def run_once(
         iterations=result.iterations,
         wall_time_s=result.wall_time_s,
         trace_file=trace_file,
+        degraded_entered=metrics.count("resilience.degraded.entered"),
+        degraded_exited=metrics.count("resilience.degraded.exited"),
+        action_holds=metrics.count("resilience.holds")
+        + metrics.count("resilience.hold_exhausted"),
+        deadline_overruns=metrics.count("resilience.deadline_overruns"),
+        generator_retries=metrics.count("resilience.retries"),
     )
 
 
@@ -376,6 +428,16 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--journal", type=Path, default=None)
     parser.add_argument("--resume", action="store_true")
     parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-role wall-clock deadline budget; overruns are recorded "
+        "as performance violations",
+    )
+    parser.add_argument(
+        "--breaker", action="store_true",
+        help="guard the Generator with retry + circuit breaker degrading "
+        "to the rule-based fallback planner",
+    )
+    parser.add_argument(
         "--trace", type=Path, default=None, metavar="DIR",
         help="record schema-v1 traces for every run into DIR",
     )
@@ -392,8 +454,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
 
     configure_logging(args.log_level)
 
+    options = CampaignOptions(deadline_ms=args.deadline_ms, breaker=args.breaker)
     results, report = execute_suite(
         seeds=tuple(range(args.seeds)),
+        options=options,
         jobs=args.jobs,
         journal=args.journal,
         resume=args.resume,
@@ -403,10 +467,15 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         collisions = sum(o.collision for o in outcomes)
         flagged = sum(o.monitor_flagged for o in outcomes)
         recoveries = sum(o.recovery_activations for o in outcomes)
-        print(
+        line = (
             f"{scenario_type.value:<20} runs={len(outcomes)} "
             f"flagged={flagged} collisions={collisions} recoveries={recoveries}"
         )
+        degraded = sum(o.degraded_entered for o in outcomes)
+        overruns = sum(o.deadline_overruns for o in outcomes)
+        if degraded or overruns:
+            line += f" degraded={degraded} overruns={overruns}"
+        print(line)
     print(report.summary.render(), file=sys.stderr)
     if args.trace is not None:
         print(f"traces written to {args.trace}", file=sys.stderr)

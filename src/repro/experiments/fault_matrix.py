@@ -22,7 +22,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..analysis.stats import MeanStd, Rate
 from ..analysis.tables import render_table
 from ..exec import CampaignEngine, EnginePolicy, WorkUnit
-from ..core import OrchestrationController, OrchestratorConfig, RoleGraph
+from ..core import (
+    OrchestrationController,
+    OrchestratorConfig,
+    ResilienceConfig,
+    RoleGraph,
+)
 from ..core.role import Role, RoleContext, RoleKind, RoleResult, Verdict
 from ..env.sim_interface import IntersectionSimInterface
 from ..geom import Vec2
@@ -41,7 +46,9 @@ from ..obs.trace import TraceRecorder, unit_trace_path
 from ..roles.generator import LLMGeneratorRole
 from ..roles.performance_oracle import IntersectionPerformanceOracle
 from ..roles.recovery_planner import EmergencyBrakeRecovery
+from ..roles.registry import create_fallback
 from ..roles.safety_monitor import GeometricSafetyMonitor
+from ..sim.actions import Maneuver
 from ..sim.scenario import ScenarioType, build_scenario
 
 #: The sweep: fault label -> factory for a fresh (per-run) fault model.
@@ -95,23 +102,52 @@ def _run(
     factory: Optional[Callable[[], FaultModel]],
     trace: "str | Path | None" = None,
     trace_id: str = "run",
+    resilience: Optional[Dict[str, object]] = None,
 ):
-    """One run with the given fault kind armed for the whole scenario."""
+    """One run with the given fault kind armed for the whole scenario.
+
+    ``resilience`` carries the optional ``deadline_ms``/``breaker``/
+    ``crash_window`` knobs (JSON-friendly so it survives the journal).
+    """
     spec = build_scenario(scenario, seed)
     pipeline = FaultPipeline(seed=seed)
     environment = IntersectionSimInterface(spec, pipeline=pipeline)
+    resilience = resilience or {}
+    crash_window = resilience.get("crash_window")
     roles = [
-        LLMGeneratorRole(planner=LLMPlanner(seed=seed), name="Generator"),
+        LLMGeneratorRole(
+            planner=LLMPlanner(seed=seed),
+            name="Generator",
+            crash_window=tuple(crash_window) if crash_window else None,
+        ),
         GeometricSafetyMonitor(name="SafetyMonitor"),
         IntersectionPerformanceOracle(name="PerformanceOracle"),
         EmergencyBrakeRecovery(name="RecoveryPlanner"),
     ]
     if factory is not None:
         roles.insert(1, PresetFaultInjector(pipeline, factory))
+    resilience_config: Optional[ResilienceConfig] = None
+    if resilience:
+        kwargs: Dict[str, object] = {
+            "deadline_ms": resilience.get("deadline_ms"),
+            "safe_action": Maneuver.WAIT,
+            "max_hold": 3,
+        }
+        if resilience.get("breaker"):
+            kwargs.update(
+                breaker_threshold=3,
+                breaker_cooldown=25,
+                max_retries=1,
+                fallback=create_fallback(),
+            )
+        resilience_config = ResilienceConfig(**kwargs)
     controller = OrchestrationController(
         RoleGraph.sequential(roles),
         environment,
-        OrchestratorConfig(max_iterations=int(spec.timeout_s / 0.1) + 10),
+        OrchestratorConfig(
+            max_iterations=int(spec.timeout_s / 0.1) + 10,
+            resilience=resilience_config,
+        ),
     )
     recorder = (
         TraceRecorder(trace, trace_id=trace_id).attach(controller)
@@ -127,22 +163,26 @@ def _run(
         "collision": bool(info["collision"]),
         "cleared": info["clearance_time"] is not None,
         "clearance": info["clearance_time"],
+        "degraded": result.metrics.count("resilience.degraded.entered"),
+        "overruns": result.metrics.count("resilience.deadline_overruns"),
     }
 
 
 def execute_cell(payload: "Tuple") -> Dict[str, object]:
     """Engine worker entry: one (scenario, seed, fault-label) run.
 
-    Accepts the historical 3-tuple payload and the traced 4-tuple with a
-    trailing campaign trace directory.
+    Accepts the historical 3-tuple payload, the traced 4-tuple with a
+    trailing campaign trace directory (or ``None``), and the resilient
+    5-tuple whose last element is the resilience options dict.
     """
     scenario_value, seed, label = payload[:3]
     trace_dir = payload[3] if len(payload) > 3 else None
+    resilience = payload[4] if len(payload) > 4 else None
     key = f"{scenario_value}:{seed}:{label}"
     trace = unit_trace_path(trace_dir, key) if trace_dir is not None else None
     return _run(
         ScenarioType(scenario_value), seed, FAULT_FACTORIES[label],
-        trace=trace, trace_id=key,
+        trace=trace, trace_id=key, resilience=resilience,
     )
 
 
@@ -154,13 +194,42 @@ def generate(
     journal: "str | Path | None" = None,
     resume: bool = False,
     trace: "str | Path | None" = None,
+    deadline_ms: Optional[float] = None,
+    breaker: bool = False,
+    crash_window: Optional[Tuple[int, int]] = None,
 ) -> str:
-    """Render the fault x scenario robustness matrix."""
+    """Render the fault x scenario robustness matrix.
+
+    ``deadline_ms``/``breaker``/``crash_window`` arm the orchestrator's
+    resilience layer for every cell; the journal key gains a ``:res-...``
+    suffix so resilient sweeps never collide with historical journals.
+    """
+    resilience: Optional[Dict[str, object]] = None
+    key_suffix = ""
+    if deadline_ms is not None or breaker or crash_window is not None:
+        resilience = {
+            "deadline_ms": deadline_ms,
+            "breaker": breaker,
+            "crash_window": list(crash_window) if crash_window else None,
+        }
+        key_suffix = (
+            f":res-d{deadline_ms if deadline_ms is not None else 'off'}"
+            f"-b{int(breaker)}"
+            + (f"-c{crash_window[0]}-{crash_window[1]}" if crash_window else "")
+        )
+
+    def _payload(scenario: ScenarioType, seed: int, label: str) -> Tuple:
+        payload: Tuple = (scenario.value, seed, label)
+        if trace is not None or resilience is not None:
+            payload = payload + (str(trace) if trace is not None else None,)
+        if resilience is not None:
+            payload = payload + (resilience,)
+        return payload
+
     units = [
         WorkUnit(
-            key=f"{scenario.value}:{seed}:{label}",
-            payload=(scenario.value, seed, label)
-            + ((str(trace),) if trace is not None else ()),
+            key=f"{scenario.value}:{seed}:{label}{key_suffix}",
+            payload=_payload(scenario, seed, label),
         )
         for scenario in scenarios
         for label in FAULT_FACTORIES
@@ -183,25 +252,30 @@ def generate(
             cursor += len(seeds)
             n = len(outcomes)
             clearances = [o["clearance"] for o in outcomes if o["clearance"] is not None]
-            rows.append(
-                [
-                    scenario.value,
-                    label,
-                    str(Rate(sum(o["flagged"] for o in outcomes), n)),
-                    str(Rate(sum(o["collision"] for o in outcomes), n)),
-                    str(Rate(sum(not o["cleared"] for o in outcomes), n)),
-                    str(MeanStd.of(clearances)) if clearances else "n/a",
-                ]
-            )
+            row = [
+                scenario.value,
+                label,
+                str(Rate(sum(o["flagged"] for o in outcomes), n)),
+                str(Rate(sum(o["collision"] for o in outcomes), n)),
+                str(Rate(sum(not o["cleared"] for o in outcomes), n)),
+                str(MeanStd.of(clearances)) if clearances else "n/a",
+            ]
+            if resilience is not None:
+                row.append(str(sum(o.get("degraded", 0) for o in outcomes)))
+                row.append(str(sum(o.get("overruns", 0) for o in outcomes)))
+            rows.append(row)
+    headers = [
+        "Scenario",
+        "Injected fault",
+        "Monitor flagged",
+        "Collisions",
+        "Never cleared",
+        "Clearance (s)",
+    ]
+    if resilience is not None:
+        headers += ["Degraded entries", "Deadline overruns"]
     return render_table(
-        headers=[
-            "Scenario",
-            "Injected fault",
-            "Monitor flagged",
-            "Collisions",
-            "Never cleared",
-            "Clearance (s)",
-        ],
+        headers=headers,
         rows=rows,
         title="Fault-robustness matrix (full injector library)",
     )
@@ -216,6 +290,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument(
         "--trace", type=Path, default=None, metavar="DIR",
         help="record schema-v1 run + engine traces into DIR",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-role wall-clock deadline budget",
+    )
+    parser.add_argument(
+        "--breaker", action="store_true",
+        help="guard the Generator with retry + circuit breaker",
     )
     parser.add_argument(
         "--log-level",
@@ -236,6 +318,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             journal=args.journal,
             resume=args.resume,
             trace=args.trace,
+            deadline_ms=args.deadline_ms,
+            breaker=args.breaker,
         )
     )
 

@@ -126,6 +126,20 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "(inspect with `python -m repro.obs summarize DIR`)",
     )
     parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-role wall-clock deadline budget (performance violations "
+        "on overrun)",
+    )
+    parser.add_argument(
+        "--breaker",
+        action="store_true",
+        help="guard the Generator with retry + circuit breaker degrading "
+        "to the rule-based fallback planner",
+    )
+    parser.add_argument(
         "--log-level",
         default="WARNING",
         choices=("DEBUG", "INFO", "WARNING", "ERROR"),
@@ -139,6 +153,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     execution: "list[ExecutionReport]" = []
     report = run_evaluation(
         seeds=tuple(range(args.seeds)),
+        options=CampaignOptions(deadline_ms=args.deadline_ms, breaker=args.breaker),
         out_dir=args.out,
         jobs=args.jobs,
         journal=args.journal,

@@ -40,7 +40,8 @@ class LLMPlanner:
         goal: the mission string embedded in every prompt.
         config: surrogate behaviour parameters.
         seed: RNG seed for the surrogate's stochastic failure modes.
-        history_limit: past decisions kept in the running state.
+        history_limit: past decisions kept in the running state; 0 keeps
+            no history at all (the prompt carries only the current tick).
     """
 
     def __init__(
@@ -81,7 +82,12 @@ class LLMPlanner:
                     explanation=decision.explanation,
                 )
             )
-            del self.history[: -self.history_limit]
+            # Trim to the newest `history_limit` entries.  A negative-index
+            # slice (`[: -limit]`) would be a no-op at limit 0 and grow the
+            # history without bound, so compute the overflow explicitly.
+            overflow = len(self.history) - self.history_limit
+            if overflow > 0:
+                del self.history[:overflow]
 
         return PlanOutput(
             maneuver=decision.maneuver,

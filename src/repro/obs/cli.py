@@ -102,6 +102,20 @@ def render_summary(summary: Dict[str, Any], timing: bool = True) -> str:
     lines.append(f"violations  : {_format_violations(counts['violation_counts'])}")
     lines.append(f"faults      : {counts['fault_count']}")
     lines.append(f"recoveries  : {counts['recovery_activations']}")
+    events = counts.get("events", {})
+    resilience_parts = [
+        f"{label}={events[name]}"
+        for name, label in (
+            ("degraded_mode_entered", "degraded_entered"),
+            ("degraded_mode_exited", "degraded_exited"),
+            ("action_held", "holds"),
+            ("deadline_exceeded", "deadline_overruns"),
+            ("role_retried", "retries"),
+        )
+        if events.get(name)
+    ]
+    if resilience_parts:
+        lines.append(f"resilience  : {', '.join(resilience_parts)}")
     checked = summary["checked_traces"]
     if checked:
         lines.append(

@@ -240,6 +240,16 @@ class TraceRecorder:
             self.telemetry.counter(f"faults.{fault}").inc()
         elif kind is EventKind.RECOVERY_ACTIVATED:
             self.telemetry.counter("recovery.activations").inc()
+        elif kind is EventKind.DEADLINE_EXCEEDED:
+            self.telemetry.counter("resilience.deadline_exceeded").inc()
+        elif kind is EventKind.DEGRADED_MODE_ENTERED:
+            self.telemetry.counter("resilience.degraded_entered").inc()
+        elif kind is EventKind.DEGRADED_MODE_EXITED:
+            self.telemetry.counter("resilience.degraded_exited").inc()
+        elif kind is EventKind.ACTION_HELD:
+            self.telemetry.counter("resilience.holds").inc()
+        elif kind is EventKind.ROLE_RETRIED:
+            self.telemetry.counter("resilience.retries").inc()
         elif kind is EventKind.RUN_TERMINATED:
             self._close_iteration_span()
             if self._run_span is not None:

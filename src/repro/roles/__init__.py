@@ -24,6 +24,7 @@ from .generator import (
     EGO_ROUTE_KEY,
     EGO_S_KEY,
     PERCEPTION_KEY,
+    GeneratorUnavailableError,
     LLMGeneratorRole,
     RuleBasedPlannerRole,
 )
@@ -40,7 +41,13 @@ from .performance_oracle import (
     LatencyBudgetOracle,
 )
 from .recovery_planner import EmergencyBrakeRecovery, ReplanRecovery
-from .registry import DEFAULT_REGISTRY, RoleRegistry, build_role_graph
+from .registry import (
+    DEFAULT_FALLBACK_ROLE,
+    DEFAULT_REGISTRY,
+    RoleRegistry,
+    build_role_graph,
+    create_fallback,
+)
 from .safety_monitor import GeometricSafetyMonitor, STLSafetyMonitor
 from .security_assessor import IMPLAUSIBLE_SPEED, ScriptedSecurityAssessor
 
@@ -50,8 +57,11 @@ __all__ = [
     "CrossChannelConsistencyMonitor",
     "RoleRegistry",
     "DEFAULT_REGISTRY",
+    "DEFAULT_FALLBACK_ROLE",
     "build_role_graph",
+    "create_fallback",
     "RuleBasedPlannerRole",
+    "GeneratorUnavailableError",
     "GeometricSafetyMonitor",
     "STLSafetyMonitor",
     "ScriptedSecurityAssessor",

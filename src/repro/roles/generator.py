@@ -10,7 +10,7 @@ and the planner ablation in :mod:`repro.experiments.ablations`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..core.role import Role, RoleContext, RoleKind, RoleResult, Verdict
 from ..llm.features import observe
@@ -27,6 +27,16 @@ EGO_ROUTE_KEY = "ego_route"
 EGO_ACCEL_KEY = "ego_acceleration"
 
 
+class GeneratorUnavailableError(RuntimeError):
+    """The generator's model backend is unreachable for this call.
+
+    Raised by :class:`LLMGeneratorRole` inside its configured
+    ``crash_window`` to emulate a transient provider outage — exactly the
+    failure class the orchestrator's retry/circuit-breaker layer exists to
+    contain.
+    """
+
+
 class LLMGeneratorRole(Role):
     """The LLM tactical planner as the AUT.
 
@@ -34,18 +44,47 @@ class LLMGeneratorRole(Role):
     chain-of-thought explanation in the narrative, mirroring Fig. 3 where
     "Llama 3.2 generates both control outputs and corresponding
     explanations".
+
+    Args:
+        planner: the planning pipeline (a default-configured
+            :class:`~repro.llm.planner.LLMPlanner` when omitted).
+        name: role name in the graph.
+        crash_window: optional ``(start, stop)`` iteration interval
+            (half-open) during which every :meth:`execute` raises
+            :class:`GeneratorUnavailableError` — a deterministic outage
+            injection for resilience experiments.
     """
 
     kind = RoleKind.GENERATOR
 
-    def __init__(self, planner: Optional[LLMPlanner] = None, name: str = "Generator") -> None:
+    def __init__(
+        self,
+        planner: Optional[LLMPlanner] = None,
+        name: str = "Generator",
+        crash_window: Optional[Tuple[int, int]] = None,
+    ) -> None:
         super().__init__(name)
         self.planner = planner or LLMPlanner()
+        if crash_window is not None:
+            start, stop = crash_window
+            if start < 0 or stop < start:
+                raise ValueError(
+                    f"crash_window must be a (start, stop) interval with "
+                    f"0 <= start <= stop, got {crash_window!r}"
+                )
+        self.crash_window = crash_window
 
     def reset(self) -> None:
         self.planner.reset()
 
     def execute(self, context: RoleContext) -> RoleResult:
+        if self.crash_window is not None:
+            start, stop = self.crash_window
+            if start <= context.iteration < stop:
+                raise GeneratorUnavailableError(
+                    f"model backend unavailable (injected outage, iteration "
+                    f"{context.iteration} in window [{start}, {stop}))"
+                )
         snapshot: PerceptionSnapshot = context.state.require_world(PERCEPTION_KEY)
         route: Route = context.state.require_world(EGO_ROUTE_KEY)
         ego_s: float = context.state.require_world(EGO_S_KEY)

@@ -124,6 +124,24 @@ class RoleRegistry:
 #: The default registry most callers want.
 DEFAULT_REGISTRY = RoleRegistry()
 
+#: Registry name of the role the resilience layer degrades to by default.
+DEFAULT_FALLBACK_ROLE = "RuleBasedPlannerRole"
+
+
+def create_fallback(
+    name: str = "FallbackPlanner",
+    registry: Optional[RoleRegistry] = None,
+) -> Role:
+    """Instantiate the default degraded-mode planner.
+
+    The circuit breaker's fallback must live *outside* the role graph
+    (the orchestrator rejects name collisions), so this helper gives it a
+    distinct instance name from the scheduled baseline planner.
+    """
+    return (registry or DEFAULT_REGISTRY).create(
+        DEFAULT_FALLBACK_ROLE, params={"name": name}
+    )
+
 
 def _parse_trigger(spec: Mapping[str, Any]) -> Trigger:
     kind = spec.get("type")

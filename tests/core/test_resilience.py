@@ -1,0 +1,164 @@
+"""Unit tests for the resilience primitives (config, breaker, hold)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ActionHold,
+    BreakerState,
+    CircuitBreaker,
+    ConfigurationError,
+    ResilienceConfig,
+    ResilienceCoordinator,
+    ResilienceError,
+)
+from repro.core.resilience import HOLD, SAFE_ACTION
+
+from ..conftest import constant_generator
+
+
+class TestResilienceConfig:
+    def test_defaults_disable_everything(self):
+        config = ResilienceConfig()
+        assert config.deadline_ms is None
+        assert config.breaker_threshold is None
+        assert config.deadline_for("Generator") is None
+
+    def test_deadline_override_per_role(self):
+        config = ResilienceConfig(
+            deadline_ms=100.0, role_deadlines_ms={"Generator": 40.0}
+        )
+        assert config.deadline_for("Generator") == 40.0
+        assert config.deadline_for("SafetyMonitor") == 100.0
+
+    def test_backoff_is_exponential(self):
+        config = ResilienceConfig(retry_backoff_s=0.1)
+        assert config.backoff_s(0) == pytest.approx(0.1)
+        assert config.backoff_s(2) == pytest.approx(0.4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_ms": 0.0},
+            {"deadline_ms": -5.0},
+            {"role_deadlines_ms": {"G": -1.0}},
+            {"max_retries": -1},
+            {"retry_backoff_s": -0.1},
+            {"breaker_cooldown": 0},
+            {"max_hold": -1},
+            {
+                "breaker_threshold": 0,
+                "fallback": constant_generator("x", name="FB"),
+            },
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(**kwargs)
+
+    def test_breaker_requires_fallback(self):
+        with pytest.raises(ResilienceError):
+            ResilienceConfig(breaker_threshold=3)
+
+
+class TestCircuitBreaker:
+    def test_opens_only_after_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=5)
+        assert not breaker.record_failure(0)
+        assert not breaker.record_failure(1)
+        breaker.record_success()  # streak broken
+        assert not breaker.record_failure(2)
+        assert not breaker.record_failure(3)
+        assert breaker.record_failure(4)  # third consecutive: opens
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.entries == 1
+
+    def test_half_opens_after_cooldown_then_closes_on_success(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=3)
+        assert breaker.record_failure(10)
+        assert breaker.use_fallback(11)
+        assert breaker.use_fallback(12)
+        # cooldown elapsed: probe the real role instead of the fallback
+        assert not breaker.use_fallback(13)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.record_success()  # closing a half-open breaker = exit
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.exits == 1
+        assert breaker.degraded_iterations == 2
+
+    def test_failed_probe_reopens_without_new_entry(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=2)
+        assert breaker.record_failure(0)
+        assert not breaker.use_fallback(2)  # half-open probe
+        assert not breaker.record_failure(2)  # probe failed: NOT a new entry
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.entries == 1
+        # cooldown restarts from the failed probe
+        assert breaker.use_fallback(3)
+        assert not breaker.use_fallback(4)
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=5)
+        breaker.record_failure(0)
+        assert not breaker.record_success()  # closed -> closed: not an exit
+        assert breaker.consecutive_failures == 0
+        assert not breaker.record_failure(1)
+        assert breaker.record_failure(2)  # second consecutive failure opens
+        assert breaker.state is BreakerState.OPEN
+
+
+class TestActionHold:
+    def test_holds_last_action_within_budget(self):
+        hold = ActionHold(max_hold=2, safe_action="SAFE")
+        hold.note_executed("go")
+        assert hold.fill() == ("go", HOLD)
+        assert hold.fill() == ("go", HOLD)
+        assert hold.fill() == ("SAFE", SAFE_ACTION)  # budget exhausted
+        assert hold.total_holds == 2
+        assert hold.exhausted_fills == 1
+
+    def test_fresh_action_resets_hold_budget(self):
+        hold = ActionHold(max_hold=1, safe_action="SAFE")
+        hold.note_executed("a")
+        assert hold.fill() == ("a", HOLD)
+        hold.note_executed("b")
+        assert hold.fill() == ("b", HOLD)
+        assert hold.consecutive_holds == 1
+
+    def test_no_prior_action_goes_straight_to_safe(self):
+        hold = ActionHold(max_hold=3, safe_action="SAFE")
+        assert hold.fill() == ("SAFE", SAFE_ACTION)
+
+    def test_none_execution_does_not_overwrite_last(self):
+        hold = ActionHold(max_hold=1, safe_action=None)
+        hold.note_executed("go")
+        hold.note_executed(None)
+        assert hold.fill() == ("go", HOLD)
+
+
+class TestResilienceCoordinator:
+    def test_breaker_created_lazily_per_role(self):
+        config = ResilienceConfig(
+            breaker_threshold=2, fallback=constant_generator("x", name="FB")
+        )
+        coordinator = ResilienceCoordinator(config)
+        assert coordinator.breakers == {}
+        breaker = coordinator.breaker_for("Generator")
+        assert breaker is coordinator.breaker_for("Generator")
+        assert set(coordinator.breakers) == {"Generator"}
+
+    def test_no_breaker_when_disabled(self):
+        coordinator = ResilienceCoordinator(ResilienceConfig())
+        assert coordinator.breaker_for("Generator") is None
+
+    def test_reset_restores_pristine_state(self):
+        fallback = constant_generator("x", name="FB")
+        config = ResilienceConfig(breaker_threshold=1, fallback=fallback)
+        coordinator = ResilienceCoordinator(config)
+        coordinator.breaker_for("Generator").record_failure(0)
+        coordinator.hold.note_executed("go")
+        coordinator.reset()
+        assert coordinator.breakers == {}
+        assert coordinator.hold.last_action is None
+        assert fallback.reset_count == 1

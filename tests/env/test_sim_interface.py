@@ -90,6 +90,31 @@ class TestApplyAction:
         interface.apply_action(None)
         assert interface.world.ego.acceleration == 0.0
 
+    def test_none_coast_holds_speed(self):
+        # Regression: a missing decision must coast (zero acceleration,
+        # speed held), never brake or accelerate implicitly.
+        interface = quiet()
+        speed = interface.world.ego.speed
+        for _ in range(10):
+            interface.apply_action(None)
+            interface.advance()
+        assert interface.world.ego.acceleration == 0.0
+        assert interface.world.ego.speed == pytest.approx(speed)
+
+    def test_none_warns_once_per_run(self, caplog):
+        interface = quiet()
+        with caplog.at_level("WARNING", logger="repro.env.sim_interface"):
+            interface.apply_action(None)
+            interface.apply_action(None)
+        warnings = [r for r in caplog.records if "coast" in r.getMessage()]
+        assert len(warnings) == 1
+        # reset() re-arms the one-shot warning
+        caplog.clear()
+        interface.reset()
+        with caplog.at_level("WARNING", logger="repro.env.sim_interface"):
+            interface.apply_action(None)
+        assert any("coast" in r.getMessage() for r in caplog.records)
+
     def test_wrong_type_rejected(self):
         with pytest.raises(TypeError):
             quiet().apply_action("proceed")

@@ -1,0 +1,43 @@
+"""Smoke tests for the degradation ablation and its campaign plumbing."""
+
+from repro.experiments.ablations import degradation_ablation
+from repro.experiments.campaign import CampaignOptions, run_once
+from repro.sim import ScenarioType
+
+
+class TestCampaignResilienceOptions:
+    def test_breaker_arm_degrades_and_recovers(self):
+        outcome = run_once(
+            ScenarioType.NOMINAL,
+            0,
+            CampaignOptions(breaker=True, crash_window=(20, 45)),
+        )
+        assert outcome.degraded_entered >= 1
+        assert outcome.degraded_exited >= 1
+        assert outcome.generator_retries >= 1
+        assert outcome.cleared and not outcome.collision
+
+    def test_tolerate_arm_leans_on_action_hold(self):
+        outcome = run_once(
+            ScenarioType.NOMINAL,
+            0,
+            CampaignOptions(crash_window=(20, 45), continue_on_role_error=True),
+        )
+        assert outcome.degraded_entered == 0
+        assert outcome.action_holds >= 1
+        assert not outcome.collision
+
+    def test_plain_run_reports_no_resilience_activity(self):
+        outcome = run_once(ScenarioType.NOMINAL, 0, CampaignOptions())
+        assert outcome.degraded_entered == 0
+        assert outcome.action_holds == 0
+        assert outcome.deadline_overruns == 0
+
+
+class TestDegradationAblation:
+    def test_table_renders_both_arms(self):
+        text = degradation_ablation(seeds=(0,), scenarios=(ScenarioType.NOMINAL,))
+        assert "tolerate" in text
+        assert "breaker" in text
+        assert "Outage policy" in text
+        assert "Breaker entries / run" in text

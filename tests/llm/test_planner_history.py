@@ -1,0 +1,51 @@
+"""Regression tests for LLMPlanner history trimming edge cases.
+
+The trim used ``del history[: -limit]``, a no-op slice at ``limit=0``
+that let the history grow without bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.planner import LLMPlanner
+from repro.sim.perception import perceive
+from repro.sim.scenario import ScenarioType, build_scenario
+from repro.sim.world import World
+
+
+def drive(planner: LLMPlanner, ticks: int) -> None:
+    world = World(build_scenario(ScenarioType.NOMINAL, 0))
+    for _ in range(ticks):
+        snapshot = perceive(world)
+        planner.plan(snapshot, world.ego.route, world.ego.s)
+        world.ego.apply_acceleration(0.5)
+        world.step()
+
+
+class TestHistoryTrim:
+    def test_zero_limit_keeps_no_history(self):
+        planner = LLMPlanner(seed=0, history_limit=0)
+        drive(planner, 30)
+        assert planner.history == []
+
+    def test_limit_one_keeps_only_newest(self):
+        planner = LLMPlanner(seed=0, history_limit=1)
+        drive(planner, 30)
+        assert len(planner.history) == 1
+
+    @pytest.mark.parametrize("limit", [2, 8])
+    def test_keeps_newest_entries_in_order(self, limit):
+        planner = LLMPlanner(seed=0, history_limit=limit)
+        drive(planner, 40)
+        assert len(planner.history) <= limit
+        times = [entry.time for entry in planner.history]
+        assert times == sorted(times)
+        # The retained entries are the newest ones, not the oldest.
+        if len(planner.history) == limit:
+            assert times[-1] > times[0]
+
+    def test_under_limit_untrimmed(self):
+        planner = LLMPlanner(seed=0, history_limit=100)
+        drive(planner, 10)
+        assert 0 < len(planner.history) <= 10

@@ -1,0 +1,104 @@
+"""Resilience events through the trace pipeline and the obs CLI.
+
+A degraded run (generator outage + breaker) must leave its full
+degrade/recover sequence in the JSONL trace, stay self-consistent under
+``verify_trace``, and surface the breaker entry/exit counts in
+``python -m repro.obs summarize`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.campaign import CampaignOptions, run_once
+from repro.experiments.fault_matrix import _run
+from repro.obs.cli import main, summarize_path
+from repro.obs.trace import load_trace, verify_trace
+from repro.sim import ScenarioType
+
+CRASH_WINDOW = (20, 45)
+
+
+@pytest.fixture(scope="module")
+def degraded_trace(tmp_path_factory):
+    """One traced campaign run with a forced generator outage + breaker."""
+    path = tmp_path_factory.mktemp("trace") / "degraded.trace.jsonl"
+    outcome = run_once(
+        ScenarioType.NOMINAL,
+        0,
+        CampaignOptions(breaker=True, crash_window=CRASH_WINDOW),
+        trace=path,
+        trace_id="nominal:0:breaker",
+    )
+    return path, outcome
+
+
+class TestDegradedTrace:
+    def test_outcome_records_the_degrade_cycle(self, degraded_trace):
+        _, outcome = degraded_trace
+        assert outcome.degraded_entered >= 1
+        assert outcome.degraded_exited >= 1
+        assert not outcome.collision
+        assert outcome.cleared
+
+    def test_trace_carries_resilience_events(self, degraded_trace):
+        path, outcome = degraded_trace
+        trace = load_trace(path)
+        names = [e.get("event") for e in trace.events]
+        assert names.count("degraded_mode_entered") == outcome.degraded_entered
+        assert names.count("degraded_mode_exited") == outcome.degraded_exited
+        assert "role_skipped" in names  # fallback iterations
+        # Degrade before recover, in event order.
+        assert names.index("degraded_mode_entered") < names.index(
+            "degraded_mode_exited"
+        )
+
+    def test_degraded_trace_is_self_consistent(self, degraded_trace):
+        path, _ = degraded_trace
+        ok, problems = verify_trace(load_trace(path))
+        assert ok, problems
+
+    def test_summarize_reports_resilience_line(self, degraded_trace, capsys):
+        path, outcome = degraded_trace
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "resilience  :" in out
+        assert f"degraded_entered={outcome.degraded_entered}" in out
+        assert f"degraded_exited={outcome.degraded_exited}" in out
+        assert "1/1 traces match" in out
+
+    def test_summarize_json_counts_match_outcome(self, degraded_trace):
+        path, outcome = degraded_trace
+        summary = summarize_path(path)
+        events = summary["counts"]["events"]
+        assert events["degraded_mode_entered"] == outcome.degraded_entered
+        assert events["degraded_mode_exited"] == outcome.degraded_exited
+        assert summary["mismatches"] == []
+
+
+class TestFaultMatrixBreakerTrace:
+    def test_breaker_counts_surface_in_summarize(self, tmp_path, capsys):
+        # One fault-matrix cell with the breaker armed against a forced
+        # generator outage, recorded and then audited through the CLI.
+        path = tmp_path / "cell.trace.jsonl"
+        cell = _run(
+            ScenarioType.NOMINAL,
+            0,
+            None,
+            trace=path,
+            trace_id="nominal:0:none:res",
+            resilience={"breaker": True, "crash_window": list(CRASH_WINDOW)},
+        )
+        assert cell["degraded"] >= 1
+        assert not cell["collision"]
+        assert main(["summarize", str(path), "--no-timing"]) == 0
+        out = capsys.readouterr().out
+        assert f"degraded_entered={cell['degraded']}" in out
+        assert "degraded_exited=" in out
+        assert "retries=" in out
+
+    def test_clean_run_has_no_resilience_line(self, tmp_path, capsys):
+        path = tmp_path / "clean.trace.jsonl"
+        _run(ScenarioType.NOMINAL, 0, None, trace=path, trace_id="nominal:0:none")
+        assert main(["summarize", str(path), "--no-timing"]) == 0
+        assert "resilience  :" not in capsys.readouterr().out
