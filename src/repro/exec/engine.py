@@ -38,6 +38,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.profile import (
+    ENGINE_PROFILE_NAME,
+    PhaseProfiler,
+    capture_hotspots,
+    merge_profile_dir,
+    unit_profile_path,
+    write_profile,
+)
 from ..obs.telemetry import TelemetryRegistry
 from ..obs.trace import EngineTracer
 from .journal import RunJournal, load_journal
@@ -133,6 +141,9 @@ class ExecutionReport:
     summary: CampaignSummary
     #: Engine telemetry registry — populated only for traced campaigns.
     telemetry: Optional[TelemetryRegistry] = None
+    #: Profile directory — populated only for profiled campaigns; the
+    #: merged breakdown lives at ``<profile_dir>/profile.json``.
+    profile_dir: Optional[Path] = None
 
     def record_map(self) -> Dict[str, TaskRecord]:
         return {r.key: r for r in self.records}
@@ -181,11 +192,29 @@ def _call_with_deadline(
 
 
 def _task_entry(
-    fn: Callable[[Any], Any], payload: Any, timeout_s: Optional[float]
+    fn: Callable[[Any], Any],
+    payload: Any,
+    timeout_s: Optional[float],
+    hotspot_spec: "Optional[Tuple[str, str, int]]" = None,
 ) -> "Tuple[Any, str, float]":
-    """(result, worker id, elapsed seconds) for one attempt."""
+    """(result, worker id, elapsed seconds) for one attempt.
+
+    ``hotspot_spec`` = ``(path, key, top_n)`` arms per-unit
+    :mod:`cProfile` capture: the task runs under the profiler and its
+    top-N hotspot rows are written as JSON to ``path`` (a ``units/``
+    profile file the parent's merge step folds in).  Wall time then
+    includes the profiler's own overhead — hotspot capture is a
+    diagnostic mode, not a throughput mode.
+    """
     started = time.perf_counter()
-    result = _call_with_deadline(fn, payload, timeout_s)
+    if hotspot_spec is None:
+        result = _call_with_deadline(fn, payload, timeout_s)
+    else:
+        path, key, top_n = hotspot_spec
+        result, rows = _call_with_deadline(
+            lambda p: capture_hotspots(fn, p, top_n=top_n), payload, timeout_s
+        )
+        write_profile(path, PhaseProfiler(), key=key, kind="hotspots", hotspots=rows)
     return result, f"pid{os.getpid()}", time.perf_counter() - started
 
 
@@ -214,6 +243,16 @@ class CampaignEngine:
             spans to ``<trace>/engine.trace.jsonl`` and writes a
             deterministic ``manifest.json`` merging per-unit run traces at
             campaign end.  ``None`` (default) writes nothing.
+        profile: campaign profile directory; when set, the engine
+            attributes its own time to ``engine.*`` phases
+            (``dispatch``/``pickle``/``worker_run``/``retry_wait``),
+            writes them to ``<profile>/engine.profile.json`` and merges
+            every per-unit profile under ``<profile>/units/`` into
+            ``<profile>/profile.json`` at campaign end.  ``None``
+            (default) records nothing.
+        hotspot_top_n: > 0 arms per-unit :mod:`cProfile` capture (needs
+            ``profile``); each unit's top-N hotspot rows are written as
+            JSON and folded into the merged profile.
     """
 
     def __init__(
@@ -227,6 +266,8 @@ class CampaignEngine:
         resume: bool = False,
         progress: "ProgressHook | str | None" = "auto",
         trace: "str | Path | None" = None,
+        profile: "str | Path | None" = None,
+        hotspot_top_n: int = 0,
     ) -> None:
         self.fn = fn
         self.policy = policy or EnginePolicy()
@@ -235,7 +276,14 @@ class CampaignEngine:
         self.journal_path = Path(journal) if journal is not None else None
         self.resume = resume
         self.trace_dir = Path(trace) if trace is not None else None
+        self.profile_dir = Path(profile) if profile is not None else None
+        if hotspot_top_n < 0:
+            raise ValueError(f"hotspot_top_n must be >= 0, got {hotspot_top_n}")
+        if hotspot_top_n and self.profile_dir is None:
+            raise ValueError("hotspot_top_n requires a profile directory")
+        self.hotspot_top_n = hotspot_top_n
         self._tracer: Optional[EngineTracer] = None
+        self._profiler: Optional[PhaseProfiler] = None
         self.progress: Optional[ProgressHook]
         if progress == "auto":
             self.progress = default_progress_hook()
@@ -258,6 +306,7 @@ class CampaignEngine:
         if self.trace_dir is not None:
             self._tracer = EngineTracer(self.trace_dir)
             self._tracer.campaign_started(len(units), summary.jobs, summary.mode)
+        self._profiler = PhaseProfiler() if self.profile_dir is not None else None
         self._emit(ProgressEvent(kind=CAMPAIGN_STARTED, total=len(units)))
 
         journal = self._open_journal(units, records)
@@ -302,10 +351,20 @@ class CampaignEngine:
             )
             telemetry = self._tracer.telemetry
             self._tracer = None
+        if self._profiler is not None:
+            write_profile(
+                self.profile_dir / ENGINE_PROFILE_NAME,
+                self._profiler,
+                key="campaign",
+                kind="engine",
+            )
+            merge_profile_dir(self.profile_dir)
+            self._profiler = None
         return ExecutionReport(
             records=[records[u.key] for u in units],
             summary=summary,
             telemetry=telemetry,
+            profile_dir=self.profile_dir,
         )
 
     # ------------------------------------------------------------------
@@ -425,6 +484,22 @@ class CampaignEngine:
     def _backoff(self, attempts: int) -> float:
         return self.policy.retry_backoff_s * (2 ** (attempts - 1))
 
+    def _hotspot_spec(self, unit: WorkUnit) -> "Optional[Tuple[str, str, int]]":
+        if self.hotspot_top_n <= 0:
+            return None
+        # A distinct key suffix keeps the hotspot file from colliding with
+        # the unit profile the task function itself may write.
+        path = unit_profile_path(self.profile_dir, unit.key + "#hotspots")
+        return (str(path), unit.key, self.hotspot_top_n)
+
+    def _sleep(self, seconds: float) -> None:
+        """Back-off sleep, attributed to ``engine.retry_wait`` when profiling."""
+        if self._profiler is None:
+            time.sleep(seconds)
+        else:
+            with self._profiler.phase("engine.retry_wait"):
+                time.sleep(seconds)
+
     def _error_record(
         self, unit: WorkUnit, attempts: int, exc: BaseException, elapsed_s: float
     ) -> TaskRecord:
@@ -458,7 +533,8 @@ class CampaignEngine:
                 attempt_started = time.perf_counter()
                 try:
                     result, worker, elapsed = _task_entry(
-                        self.fn, unit.payload, self.policy.timeout_s
+                        self.fn, unit.payload, self.policy.timeout_s,
+                        self._hotspot_spec(unit),
                     )
                 except Exception as exc:  # noqa: BLE001 - tasks are user code
                     elapsed = time.perf_counter() - attempt_started
@@ -472,10 +548,14 @@ class CampaignEngine:
                                 attempts=attempts,
                             )
                         )
-                        time.sleep(self._backoff(attempts))
+                        self._sleep(self._backoff(attempts))
                         continue
                     settle(self._error_record(unit, attempts, exc, elapsed))
                     break
+                if self._profiler is not None:
+                    # Executed successes only, so the count matches the
+                    # pool path and jobs=1 vs jobs=N stays comparable.
+                    self._profiler.record("engine.worker_run", elapsed)
                 settle(
                     TaskRecord(
                         key=unit.key,
@@ -505,10 +585,27 @@ class CampaignEngine:
         in_flight: Dict[Future, Tuple[WorkUnit, int]] = {}
         retry_queue: List[Tuple[float, WorkUnit, int]] = []  # (due, unit, attempts)
 
+        profiler = self._profiler
+
         def submit(unit: WorkUnit, attempts: int) -> None:
-            future = executor.submit(
-                _task_entry, self.fn, unit.payload, policy.timeout_s
-            )
+            if profiler is not None:
+                # The executor pickles the call in a feeder thread where it
+                # cannot be observed; measure an equivalent payload dump
+                # here so serialization cost shows up in the breakdown.
+                import pickle
+
+                with profiler.phase("engine.pickle"):
+                    pickle.dumps(unit.payload)
+                with profiler.phase("engine.dispatch"):
+                    future = executor.submit(
+                        _task_entry, self.fn, unit.payload, policy.timeout_s,
+                        self._hotspot_spec(unit),
+                    )
+            else:
+                future = executor.submit(
+                    _task_entry, self.fn, unit.payload, policy.timeout_s,
+                    self._hotspot_spec(unit),
+                )
             in_flight[future] = (unit, attempts)
 
         def retry_or_fail(unit: WorkUnit, attempts: int, exc: BaseException) -> None:
@@ -539,7 +636,7 @@ class CampaignEngine:
                     submit(unit, attempts)
                 if not in_flight:
                     if retry_queue:
-                        time.sleep(
+                        self._sleep(
                             max(0.0, min(e[0] for e in retry_queue) - time.monotonic())
                         )
                     continue
@@ -561,6 +658,8 @@ class CampaignEngine:
                     except Exception as exc:  # noqa: BLE001 - tasks are user code
                         retry_or_fail(unit, attempts, exc)
                     else:
+                        if profiler is not None:
+                            profiler.record("engine.worker_run", elapsed)
                         settle(
                             TaskRecord(
                                 key=unit.key,

@@ -32,6 +32,7 @@ from ..exec import (
 )
 from ..llm.planner import LLMPlanner
 from ..llm.surrogate import SurrogateConfig
+from ..obs.profile import PhaseProfiler, unit_profile_path, write_profile
 from ..obs.trace import TraceRecorder, unit_trace_path
 from ..roles.fault_injector import FaultInjectorRole, FaultPipeline
 from ..roles.generator import LLMGeneratorRole, RuleBasedPlannerRole
@@ -213,15 +214,25 @@ def run_once(
     *,
     trace: "str | Path | None" = None,
     trace_id: Optional[str] = None,
+    profile: "str | Path | None" = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> RunOutcome:
     """Run one seeded scenario through the full assurance loop.
 
     ``trace`` names a file to record the run into (schema-v1 JSONL, see
     :mod:`repro.obs.trace`); ``trace_id`` labels it (defaults to
     ``"<scenario>:<seed>"``).  Without ``trace`` nothing is recorded.
+
+    ``profile`` names a file to write the run's phase profile to (see
+    :mod:`repro.obs.profile`); ``profiler`` arms an existing
+    :class:`~repro.obs.profile.PhaseProfiler` instead (the caller keeps
+    the instance; nothing is written).  Without either, profiling stays
+    disarmed and the loop pays nothing.
     """
     spec = build_scenario(scenario_type, seed)
     controller = build_controller(spec, options)
+    if profile is not None and profiler is None:
+        profiler = PhaseProfiler()
     recorder: Optional[TraceRecorder] = None
     if trace is not None:
         recorder = TraceRecorder(
@@ -229,12 +240,22 @@ def run_once(
             trace_id=trace_id or f"{scenario_type.value}:{seed}",
             meta={"scenario": scenario_type.value, "seed": seed},
         ).attach(controller)
+        recorder.profiler = profiler
+    controller.profiler = profiler
     try:
         result = controller.run()
     except BaseException:
         if recorder is not None:  # pragma: no cover - crash still yields a trace
             recorder.finalize()
         raise
+
+    if profile is not None and profiler is not None:
+        write_profile(
+            profile,
+            profiler,
+            key=trace_id or f"{scenario_type.value}:{seed}",
+            kind="unit",
+        )
 
     metrics = result.metrics
     safety_flags = [
@@ -288,35 +309,46 @@ def campaign_unit(
     seed: int,
     options: Optional[CampaignOptions] = None,
     trace_dir: "str | Path | None" = None,
+    profile_dir: "str | Path | None" = None,
 ) -> WorkUnit:
     """One schedulable campaign run as an engine work unit.
 
-    With ``trace_dir`` the payload carries the campaign trace directory;
-    the worker derives its own per-unit trace path from the unit key, so
-    the file layout is identical for any job count.
+    With ``trace_dir`` (``profile_dir``) the payload carries the campaign
+    trace (profile) directory; the worker derives its own per-unit file
+    path from the unit key, so the file layout is identical for any job
+    count.
     """
     key = unit_key(scenario_type, seed, options)
     payload: Tuple = (scenario_type.value, seed, options)
-    if trace_dir is not None:
-        payload = payload + (str(trace_dir),)
+    if trace_dir is not None or profile_dir is not None:
+        payload = payload + (str(trace_dir) if trace_dir is not None else None,)
+    if profile_dir is not None:
+        payload = payload + (str(profile_dir),)
     return WorkUnit(key=key, payload=payload)
 
 
 def execute_campaign_unit(payload: "Tuple") -> RunOutcome:
     """Engine worker entry: run one seeded scenario (module-level, picklable).
 
-    Accepts the historical 3-tuple ``(scenario, seed, options)`` and the
-    traced 4-tuple with a trailing campaign trace directory.
+    Accepts the historical 3-tuple ``(scenario, seed, options)``, the
+    traced 4-tuple with a trailing campaign trace directory, and the
+    profiled 5-tuple whose last element is the campaign profile directory.
     """
     scenario_value, seed, options = payload[:3]
     trace_dir = payload[3] if len(payload) > 3 else None
+    profile_dir = payload[4] if len(payload) > 4 else None
     scenario_type = ScenarioType(scenario_value)
+    key = unit_key(scenario_type, seed, options)
     trace: Optional[Path] = None
-    trace_id: Optional[str] = None
     if trace_dir is not None:
-        trace_id = unit_key(scenario_type, seed, options)
-        trace = unit_trace_path(trace_dir, trace_id)
-    return run_once(scenario_type, seed, options, trace=trace, trace_id=trace_id)
+        trace = unit_trace_path(trace_dir, key)
+    profile: Optional[Path] = None
+    if profile_dir is not None:
+        profile = unit_profile_path(profile_dir, key)
+    return run_once(
+        scenario_type, seed, options,
+        trace=trace, trace_id=key, profile=profile,
+    )
 
 
 def _encode_outcome(outcome: RunOutcome) -> Dict[str, object]:
@@ -339,6 +371,8 @@ def execute_suite(
     max_retries: int = 2,
     progress: "ProgressHook | str | None" = "auto",
     trace: "str | Path | None" = None,
+    profile: "str | Path | None" = None,
+    hotspot_top_n: int = 0,
 ) -> "Tuple[Dict[ScenarioType, List[RunOutcome]], ExecutionReport]":
     """Run the campaign on the execution engine; return results + telemetry.
 
@@ -354,9 +388,16 @@ def execute_suite(
     telemetry to ``<trace>/engine.trace.jsonl``, and a deterministic
     ``<trace>/manifest.json`` merges them (``python -m repro.obs
     summarize <trace>`` reads the lot).
+
+    ``profile`` names a campaign profile directory: each run writes its
+    orchestration-phase profile under ``<profile>/units/``, the engine
+    records dispatch-side ``engine.*`` phases, and everything merges into
+    ``<profile>/profile.json`` (``python -m repro.obs profile <profile>``
+    renders it).  ``hotspot_top_n`` > 0 additionally captures per-run
+    cProfile hotspots.
     """
     units = [
-        campaign_unit(scenario_type, seed, options, trace_dir=trace)
+        campaign_unit(scenario_type, seed, options, trace_dir=trace, profile_dir=profile)
         for scenario_type in scenario_types
         for seed in seeds
     ]
@@ -369,6 +410,8 @@ def execute_suite(
         resume=resume,
         progress=progress,
         trace=trace,
+        profile=profile,
+        hotspot_top_n=hotspot_top_n,
     )
     report = engine.run(units).raise_on_error()
     outcomes = report.results()
@@ -390,6 +433,7 @@ def run_suite(
     resume: bool = False,
     progress: "ProgressHook | str | None" = "auto",
     trace: "str | Path | None" = None,
+    profile: "str | Path | None" = None,
 ) -> Dict[ScenarioType, List[RunOutcome]]:
     """Run the full campaign: every scenario across every seed.
 
@@ -397,8 +441,9 @@ def run_suite(
     defaults reproduce that.  ``jobs`` fans the runs out over a process
     pool (results are identical to serial), ``journal`` checkpoints every
     settled run to a JSONL file, ``resume`` replays a prior journal so
-    only missing runs execute, and ``trace`` records the campaign into a
-    trace directory (see :func:`execute_suite`).
+    only missing runs execute, ``trace`` records the campaign into a
+    trace directory, and ``profile`` records a phase-profile directory
+    (see :func:`execute_suite`).
     """
     results, _ = execute_suite(
         scenario_types,
@@ -409,6 +454,7 @@ def run_suite(
         resume=resume,
         progress=progress,
         trace=trace,
+        profile=profile,
     )
     return results
 
@@ -442,6 +488,16 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="record schema-v1 traces for every run into DIR",
     )
     parser.add_argument(
+        "--profile", type=Path, default=None, metavar="DIR",
+        help="record per-run phase profiles into DIR and merge them into "
+        "DIR/profile.json (inspect with `python -m repro.obs profile DIR`)",
+    )
+    parser.add_argument(
+        "--hotspots", type=int, default=0, metavar="N",
+        help="with --profile: capture per-run cProfile hotspots, keeping "
+        "the top N functions by cumulative time (0 disables)",
+    )
+    parser.add_argument(
         "--log-level",
         default="WARNING",
         choices=("DEBUG", "INFO", "WARNING", "ERROR"),
@@ -450,6 +506,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     args = parser.parse_args(argv)
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")
+    if args.hotspots and args.profile is None:
+        parser.error("--hotspots requires --profile")
     from ..obs import configure_logging
 
     configure_logging(args.log_level)
@@ -462,6 +520,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         journal=args.journal,
         resume=args.resume,
         trace=args.trace,
+        profile=args.profile,
+        hotspot_top_n=args.hotspots,
     )
     for scenario_type, outcomes in results.items():
         collisions = sum(o.collision for o in outcomes)
@@ -479,6 +539,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     print(report.summary.render(), file=sys.stderr)
     if args.trace is not None:
         print(f"traces written to {args.trace}", file=sys.stderr)
+    if args.profile is not None:
+        print(f"phase profile written to {args.profile}/profile.json", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ def run_evaluation(
     journal: "str | Path | None" = None,
     resume: bool = False,
     trace: "str | Path | None" = None,
+    profile: "str | Path | None" = None,
     execution: "Optional[list] | None" = None,
 ) -> str:
     """Run the campaign once and render all per-campaign artifacts.
@@ -45,7 +46,9 @@ def run_evaluation(
     live in the :class:`~repro.exec.ExecutionReport`, appended to the
     ``execution`` list when one is supplied.  ``trace`` records every run
     (plus engine dispatch telemetry) into a trace directory readable by
-    ``python -m repro.obs summarize``.
+    ``python -m repro.obs summarize``; ``profile`` records per-run phase
+    profiles merged into ``<profile>/profile.json`` (readable by
+    ``python -m repro.obs profile``).
     """
     results, exec_report = execute_suite(
         table2.SCENARIO_ORDER,
@@ -55,6 +58,7 @@ def run_evaluation(
         journal=journal,
         resume=resume,
         trace=trace,
+        profile=profile,
     )
     if execution is not None:
         execution.append(exec_report)
@@ -126,6 +130,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "(inspect with `python -m repro.obs summarize DIR`)",
     )
     parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record per-run phase profiles into DIR, merged into "
+        "DIR/profile.json (inspect with `python -m repro.obs profile DIR`)",
+    )
+    parser.add_argument(
         "--deadline-ms",
         type=float,
         default=None,
@@ -159,11 +171,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         journal=args.journal,
         resume=args.resume,
         trace=args.trace,
+        profile=args.profile,
         execution=execution,
     )
     print(report)
     if execution:
         print(execution[-1].summary.render(), file=sys.stderr)
+    if args.profile is not None:
+        print(f"phase profile written to {args.profile}/profile.json", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -11,10 +11,17 @@ durable and queryable across every layer:
   deterministic campaign manifest merging per-worker trace files.
 * :mod:`repro.obs.telemetry` — a picklable registry of counters, gauges
   and log-linear histograms, mergeable across worker processes.
+* :mod:`repro.obs.profile` — the phase profiler: attributes wall/CPU
+  time to orchestration and engine phases, merges worker profiles like
+  telemetry, and optionally captures per-unit ``cProfile`` hotspots.
+* :mod:`repro.obs.bench` — pinned benchmark workloads emitting
+  schema-versioned ``BENCH_<workload>.json`` snapshots, plus the
+  regression gate that compares two of them.
 * :mod:`repro.obs.cli` — the ``python -m repro.obs`` command
-  (``summarize`` / ``tail`` / ``diff``): recomputes dependability counts
-  from the raw event records and cross-checks them against each run's
-  recorded metrics summary, making traced campaigns self-certifying.
+  (``summarize`` / ``tail`` / ``diff`` / ``profile`` / ``bench`` /
+  ``regress``): recomputes dependability counts from the raw event
+  records and cross-checks them against each run's recorded metrics
+  summary, making traced campaigns self-certifying.
 
 Library modules log under the ``repro.*`` logger hierarchy (the stdlib
 :mod:`logging` module); :func:`configure_logging` is the one-call switch
@@ -26,6 +33,30 @@ from __future__ import annotations
 import logging
 from typing import Optional
 
+from .bench import (
+    BENCH_SCHEMA_VERSION,
+    WORKLOADS,
+    Workload,
+    compare_bench,
+    load_bench,
+    regress,
+    run_workload,
+    write_bench,
+)
+from .profile import (
+    ENGINE_PROFILE_NAME,
+    MERGED_PROFILE_NAME,
+    PROFILE_SCHEMA_VERSION,
+    PROFILE_SUFFIX,
+    PhaseProfiler,
+    PhaseStat,
+    capture_hotspots,
+    load_profile,
+    merge_profile_dir,
+    render_profile,
+    unit_profile_path,
+    write_profile,
+)
 from .telemetry import Counter, Gauge, Histogram, TelemetryRegistry
 from .trace import (
     ENGINE_TRACE_NAME,
@@ -73,27 +104,47 @@ def configure_logging(level: "int | str" = logging.INFO, stream=None) -> logging
 
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "Counter",
+    "ENGINE_PROFILE_NAME",
     "ENGINE_TRACE_NAME",
     "EngineTracer",
     "Gauge",
     "Histogram",
     "MANIFEST_NAME",
+    "MERGED_PROFILE_NAME",
+    "PROFILE_SCHEMA_VERSION",
+    "PROFILE_SUFFIX",
+    "PhaseProfiler",
+    "PhaseStat",
     "TRACE_SCHEMA_VERSION",
     "TRACE_SUFFIX",
     "TelemetryRegistry",
     "TraceData",
     "TraceRecorder",
     "TraceWriter",
+    "WORKLOADS",
+    "Workload",
     "aggregate_counts",
+    "capture_hotspots",
+    "compare_bench",
     "configure_logging",
     "discover_traces",
+    "load_bench",
+    "load_profile",
     "load_run_traces",
     "load_trace",
+    "merge_profile_dir",
     "recompute_counts",
+    "regress",
+    "render_profile",
+    "run_workload",
     "safe_trace_name",
     "trace_controller",
+    "unit_profile_path",
     "unit_trace_path",
     "verify_trace",
+    "write_bench",
     "write_manifest",
+    "write_profile",
 ]

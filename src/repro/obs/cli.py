@@ -1,4 +1,5 @@
-"""The trace CLI: ``python -m repro.obs {summarize,tail,diff}``.
+"""The observability CLI:
+``python -m repro.obs {summarize,tail,diff,profile,bench,regress}``.
 
 ``summarize``
     Recompute violation/fault/recovery/iteration counts from a trace's
@@ -10,11 +11,21 @@
     yields byte-identical output to the serial run.
 ``tail``
     Human-readable event stream (last N events), for eyeballing what a
-    run actually did.
+    run actually did.  ``--follow`` keeps polling for new events (for
+    watching a live campaign); Ctrl-C exits cleanly.
 ``diff``
     Compare two traces or campaign trace directories: count deltas and
     per-role latency deltas — serial vs parallel, before vs after a
-    change.
+    change.  Exits 0 when counts are identical, 2 on drift.
+``profile``
+    Render a phase profile (``*.profile.json`` file or ``--profile``
+    campaign directory): where the wall time went, phase by phase.
+``bench``
+    Run pinned benchmark workloads and emit ``BENCH_<workload>.json``
+    performance snapshots.
+``regress``
+    Gate a current BENCH snapshot against a committed baseline; exits 2
+    when throughput regressed beyond tolerance.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -79,6 +91,9 @@ def summarize_path(path: "str | Path") -> Dict[str, Any]:
         "checked_traces": len(runs),
         "mismatches": mismatches,
         "corrupt_lines": sum(t.corrupt_lines for t in all_traces),
+        "dropped_events": sum(
+            int((t.footer or {}).get("dropped_events", 0)) for t in all_traces
+        ),
         "latency": {
             name: latencies.histograms[name].summary()
             for name in sorted(latencies.histograms)
@@ -126,6 +141,12 @@ def render_summary(summary: Dict[str, Any], timing: bool = True) -> str:
             lines.append(f"  MISMATCH {mismatch}")
     if summary["corrupt_lines"]:
         lines.append(f"corrupt     : {summary['corrupt_lines']} unparseable line(s) skipped")
+    if summary.get("dropped_events"):
+        lines.append(
+            f"dropped     : WARNING {summary['dropped_events']} event(s) fell off "
+            "the in-memory bus ring buffer (trace files still hold every event; "
+            "post-hoc consumers of controller.events.log saw a truncated view)"
+        )
     if counts["events"]:
         lines.append("events:")
         for name in sorted(counts["events"]):
@@ -171,9 +192,77 @@ def _format_event(event: Dict[str, Any], trace_id: Optional[str] = None) -> str:
     )
 
 
+def _discover_safely(path: Path) -> List[Path]:
+    """discover_traces, but tolerant of a path that does not exist *yet*
+    (``tail --follow`` may start before the campaign creates it)."""
+    try:
+        return discover_traces(path)
+    except OSError:
+        return []
+
+
+def _follow_traces(path: Path, event_filter: Optional[str], interval: float) -> int:
+    """Poll trace files for new event records until Ctrl-C.
+
+    Reads are offset-based and byte-oriented: only complete lines are
+    consumed, so a writer caught mid-line just means the event shows up
+    on the next poll.  New trace files (a campaign spawning more units)
+    are picked up on every cycle.  The poll interval is clamped to
+    100 ms — like the progress reporter, following must never become
+    the load.
+    """
+    interval = max(interval, 0.1)
+    offsets: Dict[Path, int] = {}
+    for p in _discover_safely(path):
+        try:
+            offsets[p] = p.stat().st_size
+        except OSError:
+            pass
+    try:
+        while True:
+            time.sleep(interval)
+            files = _discover_safely(path)
+            label = len(files) > 1
+            for p in files:
+                pos = offsets.get(p, 0)
+                try:
+                    with p.open("rb") as fh:
+                        fh.seek(pos)
+                        chunk = fh.read()
+                except OSError:
+                    continue
+                complete, sep, _partial = chunk.rpartition(b"\n")
+                if not sep:
+                    continue
+                offsets[p] = pos + len(complete) + len(sep)
+                for raw in complete.splitlines():
+                    try:
+                        record = json.loads(raw.decode("utf-8", "replace"))
+                    except json.JSONDecodeError:
+                        continue
+                    if not isinstance(record, dict) or record.get("kind") != "event":
+                        continue
+                    if event_filter and record.get("event") != event_filter:
+                        continue
+                    name = p.name[: -len(".trace.jsonl")] if p.name.endswith(
+                        ".trace.jsonl"
+                    ) else p.stem
+                    print(
+                        _format_event(record, name if label else None), flush=True
+                    )
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_tail(args: argparse.Namespace) -> int:
-    traces = load_run_traces(args.path)
-    if not traces:
+    try:
+        traces = load_run_traces(args.path)
+    except OSError:
+        # With --follow a not-yet-created path is fine: wait for it.
+        if not args.follow:
+            raise
+        traces = []
+    if not traces and not args.follow:
         print("no run traces found", file=sys.stderr)
         return 1
     rows: List[str] = []
@@ -185,6 +274,8 @@ def cmd_tail(args: argparse.Namespace) -> int:
             rows.append(_format_event(event, trace.trace_id if label else None))
     for row in rows[-args.lines:]:
         print(row)
+    if args.follow:
+        return _follow_traces(Path(args.path), args.event, args.interval)
     return 0
 
 
@@ -243,6 +334,88 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0 if identical_counts else 2
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .profile import (
+        MERGED_PROFILE_NAME,
+        load_profile,
+        merge_profile_dir,
+        render_profile,
+    )
+
+    path = Path(args.path)
+    if path.is_dir():
+        merged = path / MERGED_PROFILE_NAME
+        if not merged.is_file():
+            merge_profile_dir(path)
+        data = load_profile(merged)
+    else:
+        data = load_profile(path)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(render_profile(data, timing=not args.no_timing))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import WORKLOADS, render_bench, run_workload, write_bench
+
+    if args.list:
+        for w in WORKLOADS.values():
+            marker = " [quick]" if w.quick else ""
+            print(f"{w.name:<16} jobs={w.jobs:<2} {w.description}{marker}")
+        return 0
+    if args.workloads:
+        unknown = sorted(set(args.workloads) - set(WORKLOADS))
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+            print(f"known: {', '.join(sorted(WORKLOADS))}", file=sys.stderr)
+            return 1
+        selected = [WORKLOADS[n] for n in args.workloads]
+    elif args.all:
+        selected = list(WORKLOADS.values())
+    else:
+        # Default (and --quick): the CI tripwire pair.
+        selected = [w for w in WORKLOADS.values() if w.quick]
+    for workload in selected:
+        payload = run_workload(workload, repeat=args.repeat, jobs=args.jobs)
+        path = write_bench(payload, args.out)
+        print(render_bench(payload))
+        print(f"wrote {path}", file=sys.stderr)
+        print()
+    return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    from .bench import regress
+
+    comparisons, code = regress(
+        args.baseline,
+        args.current,
+        args.tolerance_pct,
+        workloads=args.workloads or None,
+    )
+    if not comparisons:
+        print("no comparable BENCH workloads found", file=sys.stderr)
+        return code
+    for comp in comparisons:
+        print(f"workload {comp.workload}:")
+        for err in comp.errors:
+            print(f"  INCOMPARABLE {err}")
+        for delta in comp.deltas:
+            print(f"  {delta}")
+        for regression in comp.regressions:
+            print(f"  REGRESSION {regression}")
+    print()
+    if code == 2:
+        print(f"FAIL: regression beyond ±{args.tolerance_pct:g}% tolerance")
+    elif code == 1:
+        print("NOT COMPARABLE: baseline and current do not measure the same work")
+    else:
+        print(f"OK: within ±{args.tolerance_pct:g}% tolerance")
+    return code
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -264,19 +437,115 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", type=Path)
     p.add_argument("-n", "--lines", type=int, default=40, help="events to show")
     p.add_argument("--event", default=None, help="only this event kind")
+    p.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep polling for new events until Ctrl-C (exits 0)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=0.5,
+        help="poll interval in seconds for --follow (clamped to >= 0.1)",
+    )
     p.set_defaults(fn=cmd_tail)
 
-    p = sub.add_parser("diff", help="compare two traces or trace directories")
+    p = sub.add_parser(
+        "diff", help="compare two traces or trace directories",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  counts identical between A and B (clean)\n"
+            "  2  count drift — iterations, violations, faults, or recoveries "
+            "differ\n"
+            "Timing deltas are informational only and never affect the exit "
+            "code;\n--no-timing omits them for byte-comparable output."
+        ),
+    )
     p.add_argument("a", type=Path)
     p.add_argument("b", type=Path)
     p.add_argument("--no-timing", action="store_true")
     p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser(
+        "profile", help="render a phase profile file or campaign profile dir"
+    )
+    p.add_argument(
+        "path", type=Path,
+        help="a *.profile.json file or a --profile campaign directory",
+    )
+    p.add_argument(
+        "--no-timing", action="store_true",
+        help="counts only (deterministic across jobs=1 vs jobs=N)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "bench", help="run pinned workloads, emit BENCH_<workload>.json"
+    )
+    p.add_argument(
+        "workloads", nargs="*", metavar="WORKLOAD",
+        help="workload names (default: the quick set)",
+    )
+    p.add_argument("--list", action="store_true", help="list known workloads")
+    p.add_argument(
+        "--quick", action="store_true",
+        help="run the quick CI set (also the default with no names)",
+    )
+    p.add_argument("--all", action="store_true", help="run every workload")
+    p.add_argument(
+        "--out", type=Path, default=Path("."),
+        help="directory for BENCH_*.json files (default: cwd)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=1,
+        help="passes per workload; keep the best (noise damping)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="override the workload's pinned job count",
+    )
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "regress", help="gate current BENCH files against a baseline",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  every gated metric within tolerance (identical inputs "
+            "always pass)\n"
+            "  1  nothing comparable — no common workloads, or run/iteration "
+            "counts differ\n"
+            "  2  at least one throughput metric regressed beyond tolerance"
+        ),
+    )
+    p.add_argument(
+        "baseline", type=Path, help="BENCH file or directory of BENCH_*.json"
+    )
+    p.add_argument(
+        "current", type=Path, help="BENCH file or directory of BENCH_*.json"
+    )
+    p.add_argument(
+        "--tolerance-pct", type=float, default=10.0,
+        help="allowed adverse move per metric, in percent (default 10)",
+    )
+    p.add_argument(
+        "--workload", dest="workloads", action="append", default=[],
+        help="only gate this workload (repeatable)",
+    )
+    p.set_defaults(fn=cmd_regress)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print; exit quietly
+        # (replace stdout with devnull so interpreter teardown stays silent).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

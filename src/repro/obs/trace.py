@@ -139,6 +139,9 @@ class TraceRecorder:
         self.trace_id = trace_id
         self.meta = dict(meta or {})
         self.telemetry = TelemetryRegistry()
+        #: Optional :class:`~repro.obs.profile.PhaseProfiler`; when armed,
+        #: every record write is attributed to the ``trace.io`` phase.
+        self.profiler: Optional[Any] = None
         self._t0 = wall_clock.perf_counter()
         self._seq = 0
         self._next_span_id = 1
@@ -149,9 +152,18 @@ class TraceRecorder:
         self._controller: Optional["OrchestrationController"] = None
         self._finalized = False
 
+    def _write(self, record: Dict[str, Any]) -> None:
+        """Write one record, attributing the I/O to ``trace.io`` when a
+        phase profiler is armed (disarmed: one ``is not None`` check)."""
+        if self.profiler is None:
+            self.writer.write(record)
+        else:
+            with self.profiler.phase("trace.io"):
+                self.writer.write(record)
+
     # ------------------------------------------------------------------
     def attach(self, controller: "OrchestrationController") -> "TraceRecorder":
-        self.writer.write(
+        self._write(
             {
                 "kind": "trace_header",
                 "schema": TRACE_SCHEMA_VERSION,
@@ -187,7 +199,7 @@ class TraceRecorder:
         iteration: Optional[int] = None,
         attrs: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.writer.write(
+        self._write(
             {
                 "kind": "span",
                 "span_id": span_id,
@@ -207,7 +219,7 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     def _on_event(self, event: Event) -> None:
         self._seq += 1
-        self.writer.write(
+        self._write(
             {
                 "kind": "event",
                 "seq": self._seq,
@@ -313,13 +325,21 @@ class TraceRecorder:
             span_id, start = self._run_span
             self._run_span = None
             self._write_span(span_id, None, "run", self.trace_id, start, self._now() - start)
-        self.writer.write(
+        # The ring-buffer cap only truncates the *in-memory* bus log (this
+        # trace received every event via its subscription), but a nonzero
+        # count means in-process consumers saw truncated evidence — record
+        # it so `obs summarize` can warn.
+        dropped = (
+            self._controller.events.dropped_events if self._controller is not None else 0
+        )
+        self._write(
             {
                 "kind": "trace_footer",
                 "schema": TRACE_SCHEMA_VERSION,
                 "trace_id": self.trace_id,
                 "events": self._seq,
                 "spans": self._spans_written,
+                "dropped_events": dropped,
                 "metrics_summary": metrics.summary() if metrics is not None else None,
                 "telemetry": self.telemetry.snapshot(),
             }

@@ -1,9 +1,11 @@
-"""Tests for the ``python -m repro.obs`` CLI: summarize, tail, diff."""
+"""Tests for the ``python -m repro.obs`` CLI: summarize, tail, diff, profile."""
 
 import json
 
 from repro.core import OrchestrationController, RoleKind, RoleResult, Verdict
+from repro.obs import cli as cli_module
 from repro.obs.cli import main, summarize_path
+from repro.obs.profile import PhaseProfiler, unit_profile_path, write_profile
 from repro.obs.trace import TraceWriter, trace_controller
 from tests.conftest import ScriptedRole, StubEnvironment, constant_generator
 
@@ -90,6 +92,41 @@ class TestSummarize:
         monitor = summary["latency"]["role_latency_s.Monitor"]
         assert int(monitor["count"]) == result.iterations
 
+    def test_no_dropped_events_no_warning(self, tmp_path, capsys):
+        path, _ = _write_trace(tmp_path)
+        main(["summarize", str(path)])
+        out = capsys.readouterr().out
+        assert "dropped" not in out
+
+    def test_dropped_events_surface_as_warning(self, tmp_path, capsys):
+        # A bus running with a ring-buffer cap truncates its in-memory
+        # log; the footer records how many events fell off, and the
+        # audit must surface it (the trace itself is still complete).
+        monitor = ScriptedRole(
+            [RoleResult(verdict=Verdict.PASS)],
+            name="Monitor",
+            kind=RoleKind.SAFETY_MONITOR,
+        )
+        from repro.core import OrchestratorConfig
+
+        controller = OrchestrationController(
+            [constant_generator("go"), monitor],
+            StubEnvironment(steps=5),
+            OrchestratorConfig(event_log_limit=3),
+        )
+        path = tmp_path / "capped.trace.jsonl"
+        recorder = trace_controller(controller, path, trace_id="capped")
+        result = controller.run()
+        recorder.finalize(result.metrics)
+        assert controller.events.dropped_events > 0
+        assert main(["summarize", str(path)]) == 0  # dropped != mismatch
+        out = capsys.readouterr().out
+        assert "WARNING" in out
+        assert str(controller.events.dropped_events) in out
+        assert main(["summarize", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["dropped_events"] == controller.events.dropped_events
+
 
 class TestTail:
     def test_tail_shows_events(self, tmp_path, capsys):
@@ -115,6 +152,52 @@ class TestTail:
     def test_tail_no_traces(self, tmp_path, capsys):
         assert main(["tail", str(tmp_path)]) == 1
 
+    def test_tail_follow_picks_up_appended_events(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        path, _ = _write_trace(tmp_path)
+        extra = {
+            "kind": "event",
+            "seq": 999,
+            "event": "follow_probe",
+            "iteration": 9,
+            "time": 1.0,
+            "role": None,
+            "payload": {},
+        }
+        cycles = {"n": 0}
+
+        def scripted_sleep(_interval):
+            cycles["n"] += 1
+            if cycles["n"] == 1:
+                with path.open("a") as fh:
+                    fh.write(json.dumps(extra) + "\n")
+            else:
+                raise KeyboardInterrupt  # the user's Ctrl-C
+
+        monkeypatch.setattr(cli_module.time, "sleep", scripted_sleep)
+        assert main(["tail", str(path), "--follow"]) == 0
+        out = capsys.readouterr().out
+        assert "follow_probe" in out
+
+    def test_tail_follow_ignores_partial_lines(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        path, _ = _write_trace(tmp_path)
+        cycles = {"n": 0}
+
+        def scripted_sleep(_interval):
+            cycles["n"] += 1
+            if cycles["n"] == 1:
+                with path.open("a") as fh:
+                    fh.write('{"kind": "event", "event": "half')  # no newline
+            else:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module.time, "sleep", scripted_sleep)
+        assert main(["tail", str(path), "--follow"]) == 0
+        assert "half" not in capsys.readouterr().out
+
 
 class TestDiff:
     def test_identical_traces(self, tmp_path, capsys):
@@ -130,3 +213,43 @@ class TestDiff:
         out = capsys.readouterr().out
         assert "counts DIFFER" in out
         assert "violations.safety" in out
+
+    def test_help_documents_exit_codes(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["diff", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "2  count drift" in out
+
+
+class TestProfileCommand:
+    def _write_profile_dir(self, tmp_path):
+        for name, wall in (("u1", 1.0), ("u2", 2.0)):
+            profiler = PhaseProfiler()
+            profiler.record("orchestrator.decide", wall)
+            write_profile(
+                unit_profile_path(tmp_path, name), profiler, key=name, kind="unit"
+            )
+        return tmp_path
+
+    def test_renders_merged_directory(self, tmp_path, capsys):
+        profile_dir = self._write_profile_dir(tmp_path)
+        assert main(["profile", str(profile_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "units merged: 2" in out
+        assert "orchestrator.decide" in out
+
+    def test_no_timing_counts_only(self, tmp_path, capsys):
+        profile_dir = self._write_profile_dir(tmp_path)
+        assert main(["profile", str(profile_dir), "--no-timing"]) == 0
+        out = capsys.readouterr().out
+        assert "orchestrator.decide" in out
+        assert "wall s" not in out
+
+    def test_json_output(self, tmp_path, capsys):
+        profile_dir = self._write_profile_dir(tmp_path)
+        assert main(["profile", str(profile_dir), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["phases"]["orchestrator.decide"]["count"] == 2
