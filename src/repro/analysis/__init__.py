@@ -9,7 +9,14 @@ from .aggregate import (
 from .export import load_jsonl, to_csv, to_jsonl
 from .stats import MeanStd, Rate, mean, sample_std
 from .tables import render_bar_chart, render_table
-from .trace_checks import PropertyVerdict, check_trace, frames_to_trace, summarize
+from .trace_checks import (
+    SAFETY_FORMULA,
+    PropertyVerdict,
+    check_trace,
+    frames_to_trace,
+    safety_robustness,
+    summarize,
+)
 
 __all__ = [
     "ScenarioAggregate",
@@ -28,5 +35,7 @@ __all__ = [
     "check_trace",
     "frames_to_trace",
     "PropertyVerdict",
+    "SAFETY_FORMULA",
+    "safety_robustness",
     "summarize",
 ]

@@ -15,6 +15,26 @@ from typing import Dict, List, Mapping, Sequence, Union
 from ..env.recording import TraceFrame
 from ..stl import Formula, Trace, evaluate, parse
 
+#: The canonical whole-run safety envelope: at every instant the ego is
+#: either clear of every perceived object by >= 1 m or essentially
+#: stationary.  The unbounded ``G`` makes the step-0 robustness the
+#: *minimum* margin over the run — the quantity the campaign surfaces per
+#: run and :mod:`repro.search` minimizes to falsify the stack.  (The
+#: in-loop :class:`~repro.roles.safety_monitor.STLSafetyMonitor` checks the
+#: same predicate over a bounded look-ahead window.)
+SAFETY_FORMULA = "G (min_separation >= 1.0 | ego_speed <= 0.5)"
+
+
+def safety_robustness(
+    frames: Sequence[TraceFrame], period: float = 0.1
+) -> float:
+    """Minimum robustness of :data:`SAFETY_FORMULA` over a recorded run.
+
+    Negative means the safety envelope was violated at some instant —
+    the run is a counterexample.
+    """
+    return check_trace(frames, {"safety": SAFETY_FORMULA}, period)[0].robustness
+
 
 @dataclass(frozen=True)
 class PropertyVerdict:

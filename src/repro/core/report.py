@@ -8,13 +8,14 @@ promises (§I).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Any, List, Mapping, Optional, Sequence
 
 from .events import EventBus, EventKind
 from .metrics import DependabilityMetrics
 from .orchestrator import OrchestrationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime obs import)
+    from ..analysis.trace_checks import PropertyVerdict
     from ..obs.telemetry import TelemetryRegistry
 
 
@@ -22,17 +23,47 @@ def _heading(title: str) -> List[str]:
     return [title, "-" * len(title)]
 
 
+def _counterexample_row(entry: "Mapping[str, Any]") -> str:
+    """One corpus entry (see :mod:`repro.search.corpus`) as a report line."""
+    family = entry.get("family", "?")
+    index = entry.get("index", "?")
+    rho = entry.get("robustness")
+    minimized = entry.get("minimized_robustness")
+    parts = [f"[{family}#{index}]"]
+    if rho is not None:
+        parts.append(f"rho={float(rho):+.3f}")
+    if minimized is not None:
+        parts.append(f"minimized rho={float(minimized):+.3f}")
+    if entry.get("collision"):
+        parts.append("collision")
+    if entry.get("outside_default_jitter"):
+        parts.append("outside default jitter")
+    reverted = entry.get("reverted_dims") or []
+    if reverted:
+        parts.append(f"reverted: {', '.join(reverted)}")
+    return " ".join(parts)
+
+
 def build_report(
     result: OrchestrationResult,
     events: Optional[EventBus] = None,
     title: str = "DURA-CPS assurance report",
     telemetry: "Optional[TelemetryRegistry]" = None,
+    stl: "Optional[Sequence[PropertyVerdict]]" = None,
+    counterexamples: "Optional[Sequence[Mapping[str, Any]]]" = None,
 ) -> str:
     """Render a human-readable assurance report for one run.
 
     ``telemetry`` (a :class:`~repro.obs.telemetry.TelemetryRegistry`,
     e.g. a :class:`~repro.obs.trace.TraceRecorder`'s) appends a telemetry
     digest section — counters, gauges and latency histograms.
+
+    ``stl`` (a sequence of
+    :class:`~repro.analysis.trace_checks.PropertyVerdict`, typically from
+    :func:`~repro.analysis.trace_checks.check_trace` over the run's
+    recorded trace) appends the offline STL robustness section;
+    ``counterexamples`` (corpus entries from :mod:`repro.search`) appends
+    the falsification evidence section.
     """
     metrics = result.metrics
     lines: List[str] = [title, "=" * len(title), ""]
@@ -80,6 +111,28 @@ def build_report(
         prevented = sum(1 for o in outcomes if o)
         lines.append(f"collision-free after activation: {prevented}/{len(outcomes)}")
     lines.append("")
+
+    if stl is not None:
+        lines += _heading("STL properties (offline, recorded trace)")
+        if not stl:
+            lines.append("none checked")
+        else:
+            for verdict in stl:
+                lines.append(f"  {verdict}")
+            violated = sum(1 for v in stl if not v.satisfied)
+            lines.append(
+                f"{len(stl) - violated}/{len(stl)} properties satisfied"
+            )
+        lines.append("")
+
+    if counterexamples is not None:
+        lines += _heading("Counterexamples (scenario search)")
+        if not counterexamples:
+            lines.append("none found")
+        else:
+            for entry in counterexamples:
+                lines.append(f"  {_counterexample_row(entry)}")
+        lines.append("")
 
     lines += _heading("Performance series")
     if not metrics.series_names:
@@ -167,12 +220,16 @@ def build_markdown_report(
     result: OrchestrationResult,
     title: str = "DURA-CPS assurance report",
     telemetry: "Optional[TelemetryRegistry]" = None,
+    stl: "Optional[Sequence[PropertyVerdict]]" = None,
+    counterexamples: "Optional[Sequence[Mapping[str, Any]]]" = None,
 ) -> str:
     """Render a run summary as Markdown (CI artifacts, PR comments).
 
     A compact companion to :func:`build_report`: outcome header, violation
     table and recovery/fault counts, without the full evidence trail.
-    ``telemetry`` appends a digest section mirroring :func:`build_report`.
+    ``telemetry`` appends a digest section mirroring :func:`build_report`;
+    ``stl`` and ``counterexamples`` mirror the plain-text builder's STL
+    robustness and scenario-search sections.
     """
     metrics = result.metrics
     lines: List[str] = [f"# {title}", ""]
@@ -217,6 +274,31 @@ def build_markdown_report(
         prevented = sum(1 for o in outcomes if o)
         lines.append(f"- Collision-free after activation: **{prevented}/{len(outcomes)}**")
     lines.append("")
+
+    if stl is not None:
+        lines.append("## STL properties")
+        lines.append("")
+        if not stl:
+            lines.append("None checked.")
+        else:
+            lines.append("| Property | Robustness | Verdict |")
+            lines.append("|---|---|---|")
+            for verdict in stl:
+                state = "SAT" if verdict.satisfied else "**VIOLATED**"
+                lines.append(
+                    f"| `{verdict.name}` | {verdict.robustness:+.3f} | {state} |"
+                )
+        lines.append("")
+
+    if counterexamples is not None:
+        lines.append("## Counterexamples (scenario search)")
+        lines.append("")
+        if not counterexamples:
+            lines.append("None found.")
+        else:
+            for entry in counterexamples:
+                lines.append(f"- {_counterexample_row(entry)}")
+        lines.append("")
 
     resilience = metrics.resilience_summary()
     if resilience:

@@ -21,6 +21,7 @@ from ..core import (
     ResilienceConfig,
     RoleGraph,
 )
+from ..env.recording import TraceRecorder as RunRecorder
 from ..env.sim_interface import IntersectionSimInterface
 from ..exec import (
     CampaignEngine,
@@ -115,6 +116,11 @@ class RunOutcome:
     action_holds: int = 0
     deadline_overruns: int = 0
     generator_retries: int = 0
+    #: Minimum STL robustness of the safety spec
+    #: (:data:`repro.analysis.trace_checks.SAFETY_FORMULA`) over the run's
+    #: recorded trace; negative means the envelope was violated.
+    #: Defaulted so journals written before STL wiring still decode.
+    stl_robustness: Optional[float] = None
 
     @property
     def cleared(self) -> bool:
@@ -231,6 +237,9 @@ def run_once(
     """
     spec = build_scenario(scenario_type, seed)
     controller = build_controller(spec, options)
+    # Always record the per-iteration world-state frames: they feed the
+    # offline STL check below (and cost a small dict per 100 ms tick).
+    run_recorder = RunRecorder.attach(controller)
     if profile is not None and profiler is None:
         profiler = PhaseProfiler()
     recorder: Optional[TraceRecorder] = None
@@ -248,6 +257,18 @@ def run_once(
         if recorder is not None:  # pragma: no cover - crash still yields a trace
             recorder.finalize()
         raise
+
+    # Imported here: repro.analysis.aggregate imports this module, so a
+    # top-level import would be circular.
+    from ..analysis.trace_checks import safety_robustness
+
+    stl_rho: Optional[float] = None
+    if run_recorder.frames:
+        if profiler is None:
+            stl_rho = safety_robustness(run_recorder.frames)
+        else:
+            with profiler.phase("stl.robustness"):
+                stl_rho = safety_robustness(run_recorder.frames)
 
     if profile is not None and profiler is not None:
         write_profile(
@@ -289,6 +310,7 @@ def run_once(
         + metrics.count("resilience.hold_exhausted"),
         deadline_overruns=metrics.count("resilience.deadline_overruns"),
         generator_retries=metrics.count("resilience.retries"),
+        stl_robustness=stl_rho,
     )
 
 
@@ -531,6 +553,9 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             f"{scenario_type.value:<20} runs={len(outcomes)} "
             f"flagged={flagged} collisions={collisions} recoveries={recoveries}"
         )
+        rhos = [o.stl_robustness for o in outcomes if o.stl_robustness is not None]
+        if rhos:
+            line += f" rho_min={min(rhos):+.2f}"
         degraded = sum(o.degraded_entered for o in outcomes)
         overruns = sum(o.deadline_overruns for o in outcomes)
         if degraded or overruns:

@@ -60,8 +60,20 @@ class Workload:
     deadline_ms: Optional[float] = None
     breaker: bool = False
     quick: bool = False
+    kind: str = "campaign"
+    family: str = ""
+    budget: int = 0
+    search_seed: int = 0
 
     def config(self) -> Dict[str, Any]:
+        if self.kind == "search":
+            return {
+                "kind": self.kind,
+                "family": self.family,
+                "budget": self.budget,
+                "search_seed": self.search_seed,
+                "jobs": self.jobs,
+            }
         return {
             "scenarios": list(self.scenarios),
             "seeds": list(self.seeds),
@@ -90,6 +102,18 @@ WORKLOADS: Dict[str, Workload] = {
             seeds=(0, 1),
             jobs=4,
             quick=True,
+        ),
+        Workload(
+            name="search",
+            description="pedestrian falsification, budget 12, serial — the search tripwire",
+            scenarios=(),
+            seeds=(),
+            jobs=1,
+            quick=True,
+            kind="search",
+            family="pedestrian",
+            budget=12,
+            search_seed=0,
         ),
         Workload(
             name="resilient",
@@ -153,6 +177,94 @@ def _role_latencies(profiler: PhaseProfiler) -> Dict[str, Dict[str, float]]:
     return roles
 
 
+def _run_campaign_pass(
+    workload: Workload, effective_jobs: int
+) -> Dict[str, Any]:
+    """One campaign pass: counts + totals + merged phase profile."""
+    # Imported here so `repro.obs` stays importable without the sim stack.
+    from ..experiments.campaign import CampaignOptions, execute_suite
+    from ..sim.scenario import ScenarioType
+
+    scenario_types = tuple(ScenarioType(v) for v in workload.scenarios)
+    options = CampaignOptions(
+        deadline_ms=workload.deadline_ms, breaker=workload.breaker
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as profile_dir:
+        results, report = execute_suite(
+            scenario_types,
+            workload.seeds,
+            options,
+            jobs=effective_jobs,
+            progress=None,
+            profile=profile_dir,
+        )
+        merged = load_profile(Path(profile_dir) / "profile.json")
+    outcomes = [o for outcome_list in results.values() for o in outcome_list]
+    summary = report.summary
+    iterations = sum(o.iterations for o in outcomes)
+    wall = summary.wall_time_s
+    return {
+        "counts": {"runs": len(outcomes), "iterations": iterations},
+        "totals": {
+            "wall_time_s": wall,
+            "runs_per_s": summary.runs_per_s,
+            "iterations_per_s": iterations / wall if wall > 0 else 0.0,
+            "busy_time_s": summary.busy_time_s,
+            "utilization": summary.utilization,
+            "mode": summary.mode,
+            "jobs": summary.jobs,
+        },
+        "merged": merged,
+    }
+
+
+def _run_search_workload_pass(
+    workload: Workload, effective_jobs: int
+) -> Dict[str, Any]:
+    """One falsification-search pass via :class:`repro.search.SearchDriver`."""
+    # Imported here so `repro.obs` stays importable without the sim stack.
+    from ..search import SearchConfig, SearchDriver
+
+    config = SearchConfig(
+        family=workload.family,
+        mode="falsify",
+        seed=workload.search_seed,
+        budget=workload.budget,
+        jobs=effective_jobs,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        out_dir = Path(tmp) / "search-out"
+        profile_dir = Path(tmp) / "profile"
+        driver = SearchDriver(
+            config, out_dir=out_dir, profile=profile_dir, progress=None
+        )
+        result = driver.run()
+        merged = load_profile(profile_dir / "profile.json")
+    iterations = sum(e.iterations for e in result.evaluations)
+    wall = result.wall_time_s
+    busy = result.busy_time_s
+    return {
+        "counts": {
+            "runs": len(result.evaluations),
+            "iterations": iterations,
+        },
+        "totals": {
+            "wall_time_s": wall,
+            "runs_per_s": len(result.evaluations) / wall if wall > 0 else 0.0,
+            "iterations_per_s": iterations / wall if wall > 0 else 0.0,
+            "busy_time_s": busy,
+            "utilization": (
+                min(busy / (wall * result.jobs), 1.0)
+                if wall > 0 and result.jobs > 0
+                else 0.0
+            ),
+            "mode": result.mode,
+            "jobs": result.jobs,
+        },
+        "merged": merged,
+    }
+
+
 def run_workload(
     workload: Workload,
     *,
@@ -167,35 +279,21 @@ def run_workload(
     deterministic cannot seed a trajectory.  ``jobs`` overrides the
     pinned job count (recorded in the config block when it does).
     """
-    # Imported here so `repro.obs` stays importable without the sim stack.
-    from ..experiments.campaign import CampaignOptions, execute_suite
-    from ..sim.scenario import ScenarioType
-
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
-    scenario_types = tuple(ScenarioType(v) for v in workload.scenarios)
-    options = CampaignOptions(
-        deadline_ms=workload.deadline_ms, breaker=workload.breaker
-    )
     effective_jobs = workload.jobs if jobs is None else jobs
+    run_pass = (
+        _run_search_workload_pass
+        if workload.kind == "search"
+        else _run_campaign_pass
+    )
 
     best: Optional[Dict[str, Any]] = None
     counts_seen: Optional[Dict[str, int]] = None
     for _ in range(repeat):
-        with tempfile.TemporaryDirectory(prefix="repro-bench-") as profile_dir:
-            results, report = execute_suite(
-                scenario_types,
-                workload.seeds,
-                options,
-                jobs=effective_jobs,
-                progress=None,
-                profile=profile_dir,
-            )
-            merged = load_profile(Path(profile_dir) / "profile.json")
-        outcomes = [o for outcome_list in results.values() for o in outcome_list]
-        summary = report.summary
-        iterations = sum(o.iterations for o in outcomes)
-        counts = {"runs": len(outcomes), "iterations": iterations}
+        outcome = run_pass(workload, effective_jobs)
+        merged = outcome["merged"]
+        counts = outcome["counts"]
         if counts_seen is None:
             counts_seen = counts
         elif counts != counts_seen:
@@ -203,18 +301,9 @@ def run_workload(
                 f"workload {workload.name!r} is not deterministic across "
                 f"repeats: {counts_seen} != {counts}"
             )
-        wall = summary.wall_time_s
         pass_payload = {
             "counts": counts,
-            "totals": {
-                "wall_time_s": wall,
-                "runs_per_s": summary.runs_per_s,
-                "iterations_per_s": iterations / wall if wall > 0 else 0.0,
-                "busy_time_s": summary.busy_time_s,
-                "utilization": summary.utilization,
-                "mode": summary.mode,
-                "jobs": summary.jobs,
-            },
+            "totals": outcome["totals"],
             "phases": merged.get("phases") or {},
             "engine_phases": merged.get("engine_phases") or {},
             "roles": _role_latencies(

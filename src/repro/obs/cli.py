@@ -42,9 +42,11 @@ from .trace import (
     TRACE_SCHEMA_VERSION,
     TraceData,
     aggregate_counts,
+    aggregate_search_counts,
     discover_traces,
     load_trace,
     load_run_traces,
+    verify_search_trace,
     verify_trace,
 )
 
@@ -76,19 +78,30 @@ def summarize_path(path: "str | Path") -> Dict[str, Any]:
         (t for t in all_traces if t.trace_kind == "run"), key=lambda t: t.trace_id
     )
     engines = [t for t in all_traces if t.trace_kind == "engine"]
+    searches = sorted(
+        (t for t in all_traces if t.trace_kind == "search"),
+        key=lambda t: t.trace_id,
+    )
     counts = aggregate_counts(runs)
     verified = [verify_trace(t) for t in runs]
+    search_verified = [verify_search_trace(t) for t in searches]
     mismatches = [
         f"{t.trace_id}: {problem}"
         for t, (ok, problems) in zip(runs, verified)
+        for problem in problems
+    ] + [
+        f"{t.trace_id}: {problem}"
+        for t, (ok, problems) in zip(searches, search_verified)
         for problem in problems
     ]
     latencies = latency_registry(runs + engines)
     return {
         "schema": TRACE_SCHEMA_VERSION,
         "counts": counts,
-        "consistent_traces": sum(1 for ok, _ in verified if ok),
-        "checked_traces": len(runs),
+        "search": aggregate_search_counts(searches) if searches else None,
+        "consistent_traces": sum(1 for ok, _ in verified if ok)
+        + sum(1 for ok, _ in search_verified if ok),
+        "checked_traces": len(runs) + len(searches),
         "mismatches": mismatches,
         "corrupt_lines": sum(t.corrupt_lines for t in all_traces),
         "dropped_events": sum(
@@ -131,6 +144,15 @@ def render_summary(summary: Dict[str, Any], timing: bool = True) -> str:
     ]
     if resilience_parts:
         lines.append(f"resilience  : {', '.join(resilience_parts)}")
+    search = summary.get("search")
+    if search:
+        lines.append(
+            f"search      : candidates={search['candidates']} "
+            f"evaluations={search['evaluations']} "
+            f"counterexamples={search['counterexamples']} "
+            f"minimization_steps={search['minimization_steps']} "
+            f"({search['traces']} search trace(s))"
+        )
     checked = summary["checked_traces"]
     if checked:
         lines.append(

@@ -653,6 +653,63 @@ def verify_trace(trace: TraceData) -> Tuple[bool, List[str]]:
     return not mismatches, mismatches
 
 
+#: Search-trace event kinds and the ``search_summary`` footer field each
+#: one recomputes (see :mod:`repro.search.driver`).
+SEARCH_EVENT_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("candidate_sampled", "candidates"),
+    ("candidate_evaluated", "evaluations"),
+    ("counterexample_found", "counterexamples"),
+    ("minimization_step", "minimization_steps"),
+)
+
+
+def recompute_search_counts(trace: TraceData) -> Dict[str, int]:
+    """Recompute a search trace's summary counts from raw events only.
+
+    Same self-certification pattern as :func:`recompute_counts`: the
+    recomputed candidate/evaluation/counterexample/minimization counts
+    must match the ``search_summary`` the driver recorded in its footer.
+    """
+    counts = {field: 0 for _event, field in SEARCH_EVENT_FIELDS}
+    by_event = dict(SEARCH_EVENT_FIELDS)
+    for event in trace.events:
+        field = by_event.get(event.get("event", ""))
+        if field is not None:
+            counts[field] += 1
+    return counts
+
+
+def verify_search_trace(trace: TraceData) -> Tuple[bool, List[str]]:
+    """Cross-check a search trace's recomputed counts against its footer.
+
+    A search trace without a recorded ``search_summary`` is vacuously
+    consistent (e.g. the driver crashed before writing the footer — the
+    caller sees that as a missing footer, not a count mismatch).
+    """
+    recorded = (trace.footer or {}).get("search_summary")
+    if recorded is None:
+        return True, []
+    recomputed = recompute_search_counts(trace)
+    mismatches: List[str] = []
+    for field, value in recomputed.items():
+        if value != recorded.get(field):
+            mismatches.append(
+                f"{field}: recomputed {value!r} != recorded {recorded.get(field)!r}"
+            )
+    return not mismatches, mismatches
+
+
+def aggregate_search_counts(traces: Iterable[TraceData]) -> Dict[str, int]:
+    """Sum recomputed search counts across search traces."""
+    total = {field: 0 for _event, field in SEARCH_EVENT_FIELDS}
+    total["traces"] = 0
+    for trace in traces:
+        total["traces"] += 1
+        for field, value in recompute_search_counts(trace).items():
+            total[field] += value
+    return total
+
+
 def aggregate_counts(traces: Iterable[TraceData]) -> Dict[str, Any]:
     """Sum recomputed counts across run traces (deterministic given the
     trace set, independent of execution order or worker count)."""

@@ -1,0 +1,509 @@
+"""Declarative parameter spaces over the scenario builders' knobs.
+
+Each :class:`SearchSpace` names one scenario *family* — a parametric
+superset of one of the paper's hand-authored builders — and exposes every
+value the builder jitters (and several it hard-codes) as a typed, bounded
+:class:`Dimension`.  A parameter vector is a plain ``{name: float}`` dict
+(booleans travel as 0.0/1.0 so mutation and coverage binning stay
+uniform); :meth:`SearchSpace.to_spec` turns one into a runnable
+:class:`~repro.sim.scenario.ScenarioSpec`.
+
+Every dimension also records the interval the seed builder's default
+jitter can reach, so the driver can certify that a counterexample lies
+*outside* what replaying the six builders over seeds could ever produce
+(:meth:`SearchSpace.seed_reachable`).
+
+All sampling and mutation draws come from a caller-supplied
+``random.Random`` — the search is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..sim.intersection import Approach, Movement
+from ..sim.scenario import (
+    AttackKind,
+    AttackPlan,
+    PedestrianSpec,
+    ScenarioSpec,
+    ScenarioType,
+    cross_stream_event,
+)
+from ..sim.traffic import SpawnEvent
+
+Params = Dict[str, float]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One bounded scenario knob.
+
+    Attributes:
+        name: parameter-vector key.
+        lo/hi: inclusive bounds of the searchable interval.
+        nominal: the seed builder's center value — the target of
+            counterexample minimization.
+        kind: ``"float"`` or ``"bool"`` (bools are 0.0/1.0, bounds 0..1).
+        seed_lo/seed_hi: interval the seed builder's default jitter can
+            reach; ``None`` means unconstrained (or family-coupled — see
+            :attr:`SearchSpace.seed_couplings`).
+        description: human-readable meaning, surfaced by the CLI.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    nominal: float
+    kind: str = "float"
+    seed_lo: Optional[float] = None
+    seed_hi: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("float", "bool"):
+            raise ValueError(f"dimension {self.name!r}: unknown kind {self.kind!r}")
+        if not self.lo < self.hi:
+            raise ValueError(
+                f"dimension {self.name!r}: need lo < hi, got [{self.lo}, {self.hi}]"
+            )
+        if not self.lo <= self.nominal <= self.hi:
+            raise ValueError(
+                f"dimension {self.name!r}: nominal {self.nominal} outside "
+                f"[{self.lo}, {self.hi}]"
+            )
+
+    def clip(self, value: float) -> float:
+        if self.kind == "bool":
+            return 1.0 if value >= 0.5 else 0.0
+        return min(max(float(value), self.lo), self.hi)
+
+    def seed_reachable(self, value: float) -> bool:
+        """Could the seed builder's own jitter have produced ``value``?"""
+        if self.seed_lo is None or self.seed_hi is None:
+            return True
+        return self.seed_lo <= value <= self.seed_hi
+
+
+def as_bool(value: float) -> bool:
+    """Decode a boolean dimension's 0.0/1.0 encoding."""
+    return value >= 0.5
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """One scenario family: dimensions plus the spec constructor.
+
+    Attributes:
+        family: registry name (CLI ``--family``).
+        scenario_type: the :class:`ScenarioType` built specs carry.
+        dimensions: the knobs, in canonical (sampling/coverage) order.
+        build: ``(params, seed) -> ScenarioSpec``.
+        seed_couplings: extra cross-dimension predicates a parameter
+            vector must *also* satisfy to count as reachable from the
+            seed builder (e.g. the pedestrian start window depends on the
+            crossing direction).
+    """
+
+    family: str
+    scenario_type: ScenarioType
+    description: str
+    dimensions: Tuple[Dimension, ...]
+    build: Callable[[Mapping[str, float], int], ScenarioSpec]
+    seed_couplings: Tuple[Callable[[Mapping[str, float]], bool], ...] = field(
+        default=()
+    )
+
+    # ------------------------------------------------------------------
+    # vector plumbing
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return [d.name for d in self.dimensions]
+
+    def dimension(self, name: str) -> Dimension:
+        for d in self.dimensions:
+            if d.name == name:
+                return d
+        raise KeyError(f"space {self.family!r} has no dimension {name!r}")
+
+    def nominal_params(self) -> Params:
+        return {d.name: d.nominal for d in self.dimensions}
+
+    def clip(self, params: Mapping[str, float]) -> Params:
+        return {d.name: d.clip(params[d.name]) for d in self.dimensions}
+
+    def validate(self, params: Mapping[str, float]) -> None:
+        """Raise ``ValueError`` on a malformed or out-of-bounds vector."""
+        missing = [d.name for d in self.dimensions if d.name not in params]
+        if missing:
+            raise ValueError(
+                f"space {self.family!r}: missing parameters {missing}"
+            )
+        extra = sorted(set(params) - set(self.names()))
+        if extra:
+            raise ValueError(f"space {self.family!r}: unknown parameters {extra}")
+        for d in self.dimensions:
+            value = float(params[d.name])
+            if d.kind == "bool" and value not in (0.0, 1.0):
+                raise ValueError(
+                    f"space {self.family!r}: {d.name} must be 0.0 or 1.0, "
+                    f"got {value}"
+                )
+            if not d.lo <= value <= d.hi:
+                raise ValueError(
+                    f"space {self.family!r}: {d.name}={value} outside "
+                    f"[{d.lo}, {d.hi}]"
+                )
+
+    def to_spec(self, params: Mapping[str, float], seed: int) -> ScenarioSpec:
+        """Instantiate a runnable spec from a (validated) vector."""
+        self.validate(params)
+        return self.build(params, seed)
+
+    def seed_reachable(self, params: Mapping[str, float]) -> bool:
+        """True when the seed builder's default jitter could have produced
+        this exact vector (per-dimension intervals plus couplings)."""
+        if not all(d.seed_reachable(float(params[d.name])) for d in self.dimensions):
+            return False
+        return all(coupling(params) for coupling in self.seed_couplings)
+
+    # ------------------------------------------------------------------
+    # samplers (all deterministic under the caller's rng)
+    # ------------------------------------------------------------------
+    def sample_uniform(self, rng: random.Random) -> Params:
+        out: Params = {}
+        for d in self.dimensions:
+            if d.kind == "bool":
+                out[d.name] = 1.0 if rng.random() < 0.5 else 0.0
+            else:
+                out[d.name] = round(rng.uniform(d.lo, d.hi), 6)
+        return out
+
+    def sample_lhs(self, rng: random.Random, count: int) -> List[Params]:
+        """Latin-hypercube sample: each dimension's ``count`` draws occupy
+        distinct equal-width strata (boolean strata alternate halves)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        columns: Dict[str, List[float]] = {}
+        for d in self.dimensions:
+            strata = list(range(count))
+            rng.shuffle(strata)
+            values: List[float] = []
+            for s in strata:
+                if d.kind == "bool":
+                    values.append(1.0 if (s + 0.5) / count >= 0.5 else 0.0)
+                else:
+                    width = (d.hi - d.lo) / count
+                    values.append(round(d.lo + (s + rng.random()) * width, 6))
+            columns[d.name] = values
+        return [
+            {d.name: columns[d.name][i] for d in self.dimensions}
+            for i in range(count)
+        ]
+
+    def sample_grid(self, points_per_dim: int, limit: int = 100_000) -> List[Params]:
+        """Full-factorial grid (inclusive endpoints; booleans take both
+        values).  Refuses to materialize more than ``limit`` vectors."""
+        if points_per_dim < 2:
+            raise ValueError(f"points_per_dim must be >= 2, got {points_per_dim}")
+        axes: List[List[float]] = []
+        for d in self.dimensions:
+            if d.kind == "bool":
+                axes.append([0.0, 1.0])
+            else:
+                step = (d.hi - d.lo) / (points_per_dim - 1)
+                axes.append(
+                    [round(d.lo + i * step, 6) for i in range(points_per_dim)]
+                )
+        total = 1
+        for axis in axes:
+            total *= len(axis)
+        if total > limit:
+            raise ValueError(
+                f"grid over {self.family!r} would hold {total} points "
+                f"(> limit {limit}); lower points_per_dim"
+            )
+        names = self.names()
+        return [
+            dict(zip(names, combo)) for combo in itertools.product(*axes)
+        ]
+
+    def mutate(
+        self, params: Mapping[str, float], rng: random.Random, scale: float
+    ) -> Params:
+        """Perturb 1–2 dimensions of ``params`` (Gaussian step of
+        ``scale`` × range for floats, a flip for booleans), clipped back
+        into bounds."""
+        out = {d.name: float(params[d.name]) for d in self.dimensions}
+        count = 2 if (len(self.dimensions) > 1 and rng.random() < 0.5) else 1
+        picks = rng.sample(range(len(self.dimensions)), count)
+        for index in picks:
+            d = self.dimensions[index]
+            if d.kind == "bool":
+                out[d.name] = 0.0 if out[d.name] >= 0.5 else 1.0
+            else:
+                step = rng.gauss(0.0, scale * (d.hi - d.lo))
+                out[d.name] = round(d.clip(out[d.name] + step), 6)
+        return out
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly space description (coverage maps embed this)."""
+        return {
+            "family": self.family,
+            "scenario_type": self.scenario_type.value,
+            "dimensions": [
+                {
+                    "name": d.name,
+                    "lo": d.lo,
+                    "hi": d.hi,
+                    "nominal": d.nominal,
+                    "kind": d.kind,
+                }
+                for d in self.dimensions
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# the three seed families
+# ----------------------------------------------------------------------
+def _build_pedestrian(p: Mapping[str, float], seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_type=ScenarioType.PEDESTRIAN,
+        seed=seed,
+        ego_start_speed=float(p["ego_start_speed"]),
+        spawn_schedule=[
+            SpawnEvent(
+                time=float(p["veh_time"]),
+                approach=Approach.NORTH,
+                movement=Movement.STRAIGHT,
+                speed=float(p["veh_speed"]),
+            )
+        ],
+        pedestrian=PedestrianSpec(
+            start_time=float(p["ped_start"]),
+            speed=float(p["ped_speed"]),
+            from_east=as_bool(p["from_east"]),
+        ),
+    )
+
+
+def _pedestrian_start_coupling(p: Mapping[str, float]) -> bool:
+    # build_pedestrian draws the start window *conditionally* on the
+    # crossing direction: east starts from jitter(3.8, 0.7), west starts
+    # from jitter(1.5, 1.0).
+    if as_bool(p["from_east"]):
+        return 3.1 <= float(p["ped_start"]) <= 4.5
+    return 0.5 <= float(p["ped_start"]) <= 2.5
+
+
+def _build_ghost(p: Mapping[str, float], seed: int) -> ScenarioSpec:
+    schedule = [
+        SpawnEvent(
+            time=float(p["north_time"]),
+            approach=Approach.NORTH,
+            movement=Movement.STRAIGHT,
+            speed=float(p["north_speed"]),
+        ),
+        SpawnEvent(
+            time=0.0,
+            approach=Approach.EAST,
+            movement=Movement.RIGHT,
+            speed=float(p["east_speed"]),
+            advance=float(p["east_advance"]),
+        ),
+        SpawnEvent(
+            time=0.0,
+            approach=Approach.SOUTH,
+            movement=Movement.STRAIGHT,
+            speed=float(p["tail_speed"]),
+            advance=float(p["tail_advance"]),
+            tailgater=True,
+        ),
+    ]
+    return ScenarioSpec(
+        scenario_type=ScenarioType.GHOST_ATTACK,
+        seed=seed,
+        ego_start_speed=float(p["ego_start_speed"]),
+        spawn_schedule=schedule,
+        attack=AttackPlan(
+            kind=AttackKind.GHOST_OBSTACLE,
+            start_time=float(p["attack_start"]),
+            duration=float(p["attack_duration"]),
+            intensity=float(p["attack_intensity"]),
+        ),
+    )
+
+
+#: The crossing family's four conflict streams (key, approach, movement),
+#: mirroring ``build_conflicting``.
+_CROSSING_STREAMS: Tuple[Tuple[str, Approach, Movement], ...] = (
+    ("east1", Approach.EAST, Movement.STRAIGHT),
+    ("east2", Approach.EAST, Movement.STRAIGHT),
+    ("north", Approach.NORTH, Movement.LEFT),
+    ("west", Approach.WEST, Movement.STRAIGHT),
+)
+
+
+def _build_crossing(p: Mapping[str, float], seed: int) -> ScenarioSpec:
+    schedule = [
+        cross_stream_event(
+            approach, movement, float(p[f"{key}_arrival"]), float(p[f"{key}_speed"])
+        )
+        for key, approach, movement in _CROSSING_STREAMS
+    ]
+    return ScenarioSpec(
+        scenario_type=ScenarioType.CONFLICTING,
+        seed=seed,
+        ego_start_speed=float(p["ego_start_speed"]),
+        spawn_schedule=schedule,
+        timeout_s=50.0,
+    )
+
+
+def _crossing_dimensions() -> Tuple[Dimension, ...]:
+    nominal_arrivals = {"east1": 5.0, "east2": 8.0, "north": 4.5, "west": 7.0}
+    nominal_speeds = {"east1": 7.5, "east2": 7.2, "north": 6.5, "west": 7.0}
+    arrival_spread = {"east1": 0.7, "east2": 0.8, "north": 0.8, "west": 0.8}
+    dims: List[Dimension] = [
+        Dimension(
+            "ego_start_speed", 5.0, 10.0, 7.0, seed_lo=6.2, seed_hi=7.8,
+            description="ego initial speed (m/s)",
+        )
+    ]
+    for key, _approach, _movement in _CROSSING_STREAMS:
+        arr, spread = nominal_arrivals[key], arrival_spread[key]
+        spd = nominal_speeds[key]
+        dims.append(
+            Dimension(
+                f"{key}_arrival", 2.0, 12.0, arr,
+                seed_lo=arr - spread, seed_hi=arr + spread,
+                description=f"{key} stream intersection arrival (s)",
+            )
+        )
+        dims.append(
+            Dimension(
+                f"{key}_speed", 5.0, 9.5, spd, seed_lo=spd - 0.6, seed_hi=spd + 0.6,
+                description=f"{key} stream vehicle speed (m/s)",
+            )
+        )
+    return tuple(dims)
+
+
+#: Registry of searchable scenario families.
+SPACES: Dict[str, SearchSpace] = {
+    space.family: space
+    for space in (
+        SearchSpace(
+            family="pedestrian",
+            scenario_type=ScenarioType.PEDESTRIAN,
+            description="pedestrian crossing timing vs ego approach "
+            "(generalizes build_pedestrian)",
+            dimensions=(
+                Dimension(
+                    "ego_start_speed", 5.0, 10.0, 7.0, seed_lo=6.2, seed_hi=7.8,
+                    description="ego initial speed (m/s)",
+                ),
+                Dimension(
+                    "ped_start", 0.0, 8.0, 1.5,
+                    description="pedestrian crossing start time (s); the "
+                    "seed-reachable window depends on from_east",
+                ),
+                Dimension(
+                    "ped_speed", 0.8, 2.5, 1.4, seed_lo=1.2, seed_hi=1.6,
+                    description="pedestrian walking speed (m/s)",
+                ),
+                Dimension(
+                    "from_east", 0.0, 1.0, 0.0, kind="bool",
+                    description="cross from the east kerb (short-notice "
+                    "variant)",
+                ),
+                Dimension(
+                    "veh_time", 0.0, 4.0, 1.0, seed_lo=0.5, seed_hi=1.5,
+                    description="north vehicle spawn time (s)",
+                ),
+                Dimension(
+                    "veh_speed", 4.0, 9.0, 6.5, seed_lo=5.5, seed_hi=7.5,
+                    description="north vehicle speed (m/s)",
+                ),
+            ),
+            build=_build_pedestrian,
+            seed_couplings=(_pedestrian_start_coupling,),
+        ),
+        SearchSpace(
+            family="ghost",
+            scenario_type=ScenarioType.GHOST_ATTACK,
+            description="ghost-obstacle attack window and traffic context "
+            "(generalizes build_ghost_attack)",
+            dimensions=(
+                Dimension(
+                    "ego_start_speed", 5.0, 10.0, 7.0, seed_lo=6.2, seed_hi=7.8,
+                    description="ego initial speed (m/s)",
+                ),
+                Dimension(
+                    "north_time", 0.0, 3.0, 0.5, seed_lo=0.1, seed_hi=0.9,
+                    description="oncoming north vehicle spawn time (s)",
+                ),
+                Dimension(
+                    "north_speed", 4.0, 9.0, 7.0, seed_lo=6.0, seed_hi=8.0,
+                    description="oncoming north vehicle speed (m/s)",
+                ),
+                Dimension(
+                    "east_speed", 4.0, 9.0, 6.5, seed_lo=5.7, seed_hi=7.3,
+                    description="east right-turner speed (m/s)",
+                ),
+                Dimension(
+                    "east_advance", 0.0, 20.0, 4.0, seed_lo=0.0, seed_hi=10.0,
+                    description="east right-turner head start (m)",
+                ),
+                Dimension(
+                    "tail_speed", 6.0, 11.0, 8.2, seed_lo=7.7, seed_hi=8.7,
+                    description="tailgater speed (m/s)",
+                ),
+                Dimension(
+                    "tail_advance", 0.0, 20.0, 10.0, seed_lo=7.0, seed_hi=13.0,
+                    description="tailgater head start (m)",
+                ),
+                Dimension(
+                    "attack_start", 0.5, 10.0, 5.0, seed_lo=2.2, seed_hi=7.8,
+                    description="ghost obstacle onset (s)",
+                ),
+                Dimension(
+                    "attack_duration", 1.0, 8.0, 4.0, seed_lo=3.0, seed_hi=5.0,
+                    description="ghost obstacle dwell (s)",
+                ),
+                Dimension(
+                    "attack_intensity", 0.2, 1.0, 0.8, seed_lo=0.6, seed_hi=1.0,
+                    description="ghost proximity intensity (0..1)",
+                ),
+            ),
+            build=_build_ghost,
+        ),
+        SearchSpace(
+            family="crossing",
+            scenario_type=ScenarioType.CONFLICTING,
+            description="four-stream conflicting arrivals (generalizes "
+            "build_conflicting)",
+            dimensions=_crossing_dimensions(),
+            build=_build_crossing,
+        ),
+    )
+}
+
+
+def known_families() -> List[str]:
+    return sorted(SPACES)
+
+
+def get_space(family: str) -> SearchSpace:
+    """Look up a search space; a clear error beats a bare ``KeyError``."""
+    try:
+        return SPACES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario family {family!r}; known families: "
+            + ", ".join(known_families())
+        ) from None

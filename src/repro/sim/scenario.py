@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from .intersection import Approach, Movement
 from .traffic import SpawnEvent
@@ -98,6 +98,88 @@ class ScenarioSpec:
         return self.scenario_type.value
 
 
+# ----------------------------------------------------------------------
+# JSON round-trip (the search corpus stores specs this way so a found
+# counterexample replays without re-running the search that produced it)
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """A JSON-serializable dict that :func:`spec_from_dict` inverts exactly."""
+    return {
+        "scenario_type": spec.scenario_type.value,
+        "seed": spec.seed,
+        "ego_approach": spec.ego_approach.value,
+        "ego_movement": spec.ego_movement.value,
+        "ego_start_s": spec.ego_start_s,
+        "ego_start_speed": spec.ego_start_speed,
+        "spawn_schedule": [
+            {
+                "time": e.time,
+                "approach": e.approach.value,
+                "movement": e.movement.value,
+                "speed": e.speed,
+                "setback": e.setback,
+                "advance": e.advance,
+                "tailgater": e.tailgater,
+            }
+            for e in spec.spawn_schedule
+        ],
+        "pedestrian": None
+        if spec.pedestrian is None
+        else {
+            "start_time": spec.pedestrian.start_time,
+            "speed": spec.pedestrian.speed,
+            "from_east": spec.pedestrian.from_east,
+        },
+        "attack": {
+            "kind": spec.attack.kind.value,
+            "start_time": spec.attack.start_time,
+            "duration": spec.attack.duration,
+            "intensity": spec.attack.intensity,
+        },
+        "timeout_s": spec.timeout_s,
+    }
+
+
+def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from :func:`spec_to_dict` output."""
+    pedestrian = data.get("pedestrian")
+    attack = data.get("attack") or {}
+    return ScenarioSpec(
+        scenario_type=ScenarioType(data["scenario_type"]),
+        seed=int(data["seed"]),
+        ego_approach=Approach(data["ego_approach"]),
+        ego_movement=Movement(data["ego_movement"]),
+        ego_start_s=float(data["ego_start_s"]),
+        ego_start_speed=float(data["ego_start_speed"]),
+        spawn_schedule=[
+            SpawnEvent(
+                time=float(e["time"]),
+                approach=Approach(e["approach"]),
+                movement=Movement(e["movement"]),
+                speed=float(e["speed"]),
+                setback=float(e.get("setback", 0.0)),
+                advance=float(e.get("advance", 0.0)),
+                tailgater=bool(e.get("tailgater", False)),
+            )
+            for e in data.get("spawn_schedule", [])
+        ],
+        pedestrian=None
+        if pedestrian is None
+        else PedestrianSpec(
+            start_time=float(pedestrian["start_time"]),
+            speed=float(pedestrian.get("speed", 1.4)),
+            from_east=bool(pedestrian.get("from_east", False)),
+        ),
+        attack=AttackPlan(
+            kind=AttackKind(attack.get("kind", AttackKind.NONE.value)),
+            start_time=float(attack.get("start_time", 0.0)),
+            duration=float(attack.get("duration", 0.0)),
+            intensity=float(attack.get("intensity", 1.0)),
+        ),
+        timeout_s=float(data.get("timeout_s", 40.0)),
+    )
+
+
 def _jitter(rng: random.Random, value: float, spread: float) -> float:
     """Uniform jitter of ``value`` by up to ±``spread``."""
     return value + rng.uniform(-spread, spread)
@@ -136,8 +218,7 @@ def build_nominal(seed: int) -> ScenarioSpec:
     )
 
 
-def _cross_stream_event(
-    rng: random.Random,
+def cross_stream_event(
     approach: Approach,
     movement: Movement,
     arrival_s: float,
@@ -146,7 +227,8 @@ def _cross_stream_event(
     """Spawn a vehicle timed to reach the intersection at ``arrival_s``.
 
     Uses a head start when the arrival is sooner than a full approach run,
-    otherwise delays the spawn.
+    otherwise delays the spawn.  Deterministic — the scenario builders
+    jitter the *inputs*, and :mod:`repro.search` drives them directly.
     """
     travel_full = 60.0 / speed  # APPROACH_LENGTH at constant speed
     if arrival_s >= travel_full:
@@ -160,6 +242,16 @@ def _cross_stream_event(
         speed=speed,
         advance=60.0 - speed * arrival_s,
     )
+
+
+def _cross_stream_event(
+    rng: random.Random,
+    approach: Approach,
+    movement: Movement,
+    arrival_s: float,
+    speed: float,
+) -> SpawnEvent:
+    return cross_stream_event(approach, movement, arrival_s, speed)
 
 
 def build_congested(seed: int) -> ScenarioSpec:
@@ -347,7 +439,77 @@ SCENARIO_BUILDERS: Dict[ScenarioType, Callable[[int], ScenarioSpec]] = {
     ScenarioType.PEDESTRIAN: build_pedestrian,
 }
 
+#: Named builders registered at runtime (search-generated scenarios, user
+#: extensions) — addressed by string name through :func:`build_scenario`.
+_REGISTERED_BUILDERS: Dict[str, Callable[[int], ScenarioSpec]] = {}
 
-def build_scenario(scenario_type: ScenarioType, seed: int) -> ScenarioSpec:
-    """Instantiate a scenario by type and seed."""
-    return SCENARIO_BUILDERS[scenario_type](seed)
+
+def register_scenario(
+    name: str,
+    builder: Callable[[int], ScenarioSpec],
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Register a named scenario builder.
+
+    Registered names share the :func:`build_scenario` entry point with the
+    six paper scenarios, so a search-generated counterexample (or any user
+    extension) replays through exactly the same code path.  Names must not
+    shadow a :class:`ScenarioType` value, and re-registration requires
+    ``overwrite=True``.
+    """
+    if not name:
+        raise ValueError("scenario name must be non-empty")
+    if name in {t.value for t in ScenarioType}:
+        raise ValueError(
+            f"scenario name {name!r} shadows a built-in ScenarioType value"
+        )
+    if name in _REGISTERED_BUILDERS and not overwrite:
+        raise ValueError(
+            f"scenario {name!r} is already registered (pass overwrite=True "
+            "to replace it)"
+        )
+    _REGISTERED_BUILDERS[name] = builder
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a runtime-registered scenario builder (no-op if absent)."""
+    _REGISTERED_BUILDERS.pop(name, None)
+
+
+def known_scenarios() -> List[str]:
+    """Every name :func:`build_scenario` accepts, built-ins first."""
+    return [t.value for t in ScenarioType] + sorted(_REGISTERED_BUILDERS)
+
+
+def build_scenario(
+    scenario_type: "Union[ScenarioType, str]", seed: int
+) -> ScenarioSpec:
+    """Instantiate a scenario by type (or registered name) and seed.
+
+    Raises:
+        ValueError: unknown type or name; the message lists every known
+            scenario so callers (CLI flags, config files) get a usable
+            error instead of a bare ``KeyError``.
+    """
+    builder: Optional[Callable[[int], ScenarioSpec]] = None
+    if isinstance(scenario_type, ScenarioType):
+        builder = SCENARIO_BUILDERS.get(scenario_type)
+    elif isinstance(scenario_type, str):
+        builder = _REGISTERED_BUILDERS.get(scenario_type)
+        if builder is None:
+            try:
+                builder = SCENARIO_BUILDERS.get(ScenarioType(scenario_type))
+            except ValueError:
+                builder = None
+    if builder is None:
+        label = (
+            scenario_type.value
+            if isinstance(scenario_type, ScenarioType)
+            else scenario_type
+        )
+        raise ValueError(
+            f"unknown scenario {label!r}; known scenarios: "
+            + ", ".join(known_scenarios())
+        )
+    return builder(seed)

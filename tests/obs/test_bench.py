@@ -188,3 +188,49 @@ class TestRunWorkload:
     def test_bench_cli_unknown_workload(self, capsys):
         assert main(["bench", "no-such-workload"]) == 1
         assert "unknown workload" in capsys.readouterr().err
+
+
+class TestSearchWorkload:
+    def test_pinned_search_workload_registered(self):
+        workload = WORKLOADS["search"]
+        assert workload.kind == "search"
+        assert workload.quick
+        config = workload.config()
+        assert config == {
+            "kind": "search",
+            "family": "pedestrian",
+            "budget": 12,
+            "search_seed": 0,
+            "jobs": 1,
+        }
+
+    def test_campaign_config_shape_unchanged(self):
+        config = WORKLOADS["smoke"].config()
+        assert "kind" not in config
+        assert set(config) == {"scenarios", "seeds", "jobs", "deadline_ms", "breaker"}
+
+    def test_search_workload_payload_schema(self, tmp_path):
+        from repro.obs.bench import Workload
+
+        workload = Workload(
+            name="search-tiny",
+            description="tiny falsification pass",
+            scenarios=(),
+            seeds=(),
+            jobs=1,
+            kind="search",
+            family="pedestrian",
+            budget=4,
+            search_seed=0,
+        )
+        payload = run_workload(workload)
+        assert payload["workload"] == "search-tiny"
+        assert payload["counts"]["runs"] >= 4
+        assert payload["counts"]["iterations"] > 0
+        assert payload["totals"]["runs_per_s"] > 0
+        assert payload["totals"]["mode"] == "serial"
+        assert "search.evaluate" in payload["engine_phases"]
+        assert payload["phases"]["role.Generator"]["count"] > 0
+        path = write_bench(payload, tmp_path)
+        assert json.loads(path.read_text())["config"]["kind"] == "search"
+        assert "throughput" in render_bench(payload)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the scenario-search tests.
+
+One real falsification run (pedestrian family, budget 12, seed 0) is
+expensive enough that the driver and CLI tests share a single
+session-scoped pass instead of each paying for their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search import SearchConfig, SearchDriver
+
+
+@pytest.fixture(scope="session")
+def falsify_run(tmp_path_factory):
+    """(SearchResult, out_dir) of one serial pedestrian falsification."""
+    out_dir = tmp_path_factory.mktemp("falsify") / "out"
+    config = SearchConfig(family="pedestrian", mode="falsify", seed=0, budget=12)
+    driver = SearchDriver(config, out_dir=out_dir, progress=None)
+    return driver.run(), out_dir
