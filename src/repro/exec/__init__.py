@@ -17,6 +17,7 @@ deterministic in-process loop), guaranteeing that ``jobs=N`` reproduces
 """
 
 from .engine import (
+    CampaignCancelled,
     CampaignEngine,
     CampaignExecutionError,
     EnginePolicy,
@@ -25,7 +26,13 @@ from .engine import (
     TaskRecord,
     TaskTimeout,
 )
-from .journal import JournalState, RunJournal, load_journal
+from .journal import (
+    JournalSpecMismatch,
+    JournalState,
+    RunJournal,
+    check_spec_fingerprint,
+    load_journal,
+)
 from .progress import (
     CampaignSummary,
     ProgressEvent,
@@ -35,11 +42,13 @@ from .progress import (
 from .work import ShardPlan, WorkUnit, check_unique_keys, fingerprint
 
 __all__ = [
+    "CampaignCancelled",
     "CampaignEngine",
     "CampaignExecutionError",
     "CampaignSummary",
     "EnginePolicy",
     "ExecutionReport",
+    "JournalSpecMismatch",
     "JournalState",
     "ProgressEvent",
     "ProgressHook",
@@ -50,6 +59,7 @@ __all__ = [
     "TaskRecord",
     "TaskTimeout",
     "WorkUnit",
+    "check_spec_fingerprint",
     "check_unique_keys",
     "fingerprint",
     "load_journal",

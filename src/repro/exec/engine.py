@@ -48,7 +48,7 @@ from ..obs.profile import (
 )
 from ..obs.telemetry import TelemetryRegistry
 from ..obs.trace import EngineTracer
-from .journal import RunJournal, load_journal
+from .journal import RunJournal, check_spec_fingerprint, load_journal
 from .progress import (
     CAMPAIGN_FINISHED,
     CAMPAIGN_STARTED,
@@ -64,6 +64,15 @@ from .work import WorkUnit, check_unique_keys, fingerprint
 
 class TaskTimeout(Exception):
     """A task overran its per-task deadline."""
+
+
+class CampaignCancelled(Exception):
+    """The campaign was cancelled via the engine's ``cancel`` hook.
+
+    Every task settled before the cancellation point is already journaled
+    (the journal flushes per line), so a later ``resume=True`` run picks
+    up exactly where the cancelled one stopped.
+    """
 
 
 class CampaignExecutionError(Exception):
@@ -253,6 +262,17 @@ class CampaignEngine:
         hotspot_top_n: > 0 arms per-unit :mod:`cProfile` capture (needs
             ``profile``); each unit's top-N hotspot rows are written as
             JSON and folded into the merged profile.
+        spec_fingerprint: hash of the normalized campaign spec (options)
+            that produced the units.  Recorded in the journal header;
+            resuming against a journal whose header carries a *different*
+            spec fingerprint raises
+            :class:`~repro.exec.journal.JournalSpecMismatch` instead of
+            silently mixing two configurations.  ``None`` skips the check.
+        cancel: zero-arg callable polled between task settles; returning
+            ``True`` aborts the campaign with :class:`CampaignCancelled`
+            (journaled tasks survive, so a ``resume`` run continues from
+            the cancellation point).  The long-lived service uses this as
+            its job-cancellation hook.
     """
 
     def __init__(
@@ -268,6 +288,8 @@ class CampaignEngine:
         trace: "str | Path | None" = None,
         profile: "str | Path | None" = None,
         hotspot_top_n: int = 0,
+        spec_fingerprint: Optional[str] = None,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.fn = fn
         self.policy = policy or EnginePolicy()
@@ -275,6 +297,8 @@ class CampaignEngine:
         self.decode = decode or (lambda value: value)
         self.journal_path = Path(journal) if journal is not None else None
         self.resume = resume
+        self.spec_fingerprint = spec_fingerprint
+        self.cancel = cancel
         self.trace_dir = Path(trace) if trace is not None else None
         self.profile_dir = Path(profile) if profile is not None else None
         if hotspot_top_n < 0:
@@ -309,7 +333,11 @@ class CampaignEngine:
         self._profiler = PhaseProfiler() if self.profile_dir is not None else None
         self._emit(ProgressEvent(kind=CAMPAIGN_STARTED, total=len(units)))
 
-        journal = self._open_journal(units, records)
+        try:
+            journal = self._open_journal(units, records)
+        except Exception:
+            self._abandon_observers()
+            raise
         summary.cached = len(records)
         for record in records.values():
             if self._tracer is not None:
@@ -331,6 +359,11 @@ class CampaignEngine:
                     self._run_pool(pending, settle, summary)
                 else:
                     self._run_serial(pending, settle, summary)
+        except BaseException:
+            # Cancellation (or a crash) must not leak open trace handles
+            # in a long-lived server; settled tasks are already journaled.
+            self._abandon_observers()
+            raise
         finally:
             if journal is not None:
                 journal.close()
@@ -367,6 +400,18 @@ class CampaignEngine:
             profile_dir=self.profile_dir,
         )
 
+    def _abandon_observers(self) -> None:
+        """Close the tracer's file and drop the profiler without writing
+        footers/manifests — the next (resumed) run rewrites them whole."""
+        if self._tracer is not None:
+            self._tracer.writer.close()
+            self._tracer = None
+        self._profiler = None
+
+    def _check_cancelled(self) -> None:
+        if self.cancel is not None and self.cancel():
+            raise CampaignCancelled("campaign cancelled")
+
     # ------------------------------------------------------------------
     # journal wiring
     # ------------------------------------------------------------------
@@ -379,6 +424,7 @@ class CampaignEngine:
         fresh = True
         if self.resume:
             state = load_journal(self.journal_path)
+            check_spec_fingerprint(state, self.journal_path, self.spec_fingerprint)
             fresh = state.header is None and not state.tasks
             for unit in units:
                 entry = state.tasks.get(unit.key)
@@ -397,7 +443,9 @@ class CampaignEngine:
             self.journal_path.unlink()
         journal = RunJournal(self.journal_path)
         if fresh:
-            journal.write_header(campaign_fp, total=len(units))
+            journal.write_header(
+                campaign_fp, total=len(units), spec_fingerprint=self.spec_fingerprint
+            )
         return journal
 
     # ------------------------------------------------------------------
@@ -527,6 +575,7 @@ class CampaignEngine:
         summary: CampaignSummary,
     ) -> None:
         for unit in pending:
+            self._check_cancelled()
             attempts = 0
             while True:
                 attempts += 1
@@ -629,6 +678,7 @@ class CampaignEngine:
             for unit in pending:
                 submit(unit, 0)
             while in_flight or retry_queue:
+                self._check_cancelled()
                 now = time.monotonic()
                 due = [entry for entry in retry_queue if entry[0] <= now]
                 retry_queue = [entry for entry in retry_queue if entry[0] > now]
@@ -643,6 +693,10 @@ class CampaignEngine:
                 timeout = None
                 if retry_queue:
                     timeout = max(0.0, min(e[0] for e in retry_queue) - now)
+                if self.cancel is not None:
+                    # Wake periodically so a cancellation is observed even
+                    # while every in-flight task is still running.
+                    timeout = 0.25 if timeout is None else min(timeout, 0.25)
                 done, _ = wait(
                     list(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
                 )

@@ -3,8 +3,10 @@
 One line per event, appended and flushed as soon as each task settles, so
 a killed campaign loses at most the in-flight tasks:
 
-* a ``header`` line identifying the campaign (unit-set fingerprint, total
-  unit count, engine version) written when the file is created, and
+* a ``header`` line identifying the campaign (unit-set fingerprint, an
+  optional *spec fingerprint* — a hash of the normalized campaign options
+  that produced the units — total unit count, engine version) written
+  when the file is created, and
 * one ``task`` line per settled task — ``{"kind": "task", "key": ...,
   "status": "ok"|"error", "attempts": N, "elapsed_s": ..., "worker": ...,
   "result": <encoded>}`` (``error``/``error_type`` replace ``result`` for
@@ -14,6 +16,12 @@ a killed campaign loses at most the in-flight tasks:
 a ``kill -9`` mid-write) and duplicate keys (last record wins), which is
 exactly what resume needs: re-running a campaign with ``resume=True``
 skips every key whose last journaled status is ``ok``.
+
+Resuming against a journal written by a *different* campaign spec is an
+error, not a silent no-op: :func:`check_spec_fingerprint` compares the
+header's recorded spec fingerprint against the resuming campaign's and
+raises :class:`JournalSpecMismatch` when they differ (journals predating
+the field pass unchecked — there is nothing to compare).
 """
 
 from __future__ import annotations
@@ -28,6 +36,42 @@ JOURNAL_VERSION = 1
 
 HEADER_KIND = "header"
 TASK_KIND = "task"
+
+
+class JournalSpecMismatch(Exception):
+    """A resume journal was produced by a different campaign spec.
+
+    Proceeding would mix results from two configurations in one journal
+    (and, because unit keys embed the options digest, silently re-run
+    everything while *appearing* to resume).  The service's safe-restart
+    path depends on this being a hard error.
+    """
+
+    def __init__(self, path: "str | Path", recorded: str, current: str) -> None:
+        self.path = Path(path)
+        self.recorded = recorded
+        self.current = current
+        super().__init__(
+            f"journal {self.path} was written by a different campaign spec: "
+            f"header records spec fingerprint {recorded!r} but this campaign "
+            f"has {current!r} — refusing to resume (delete the journal or "
+            "point --journal elsewhere to start fresh)"
+        )
+
+
+def check_spec_fingerprint(
+    state: "JournalState", path: "str | Path", spec_fingerprint: Optional[str]
+) -> None:
+    """Raise :class:`JournalSpecMismatch` when ``state`` belongs to another spec.
+
+    Journals without a recorded spec fingerprint (pre-dating the field)
+    and callers that do not declare one are accepted unchecked.
+    """
+    if spec_fingerprint is None or state.header is None:
+        return
+    recorded = state.header.get("spec_fingerprint")
+    if recorded is not None and recorded != spec_fingerprint:
+        raise JournalSpecMismatch(path, recorded, spec_fingerprint)
 
 
 @dataclass
@@ -110,15 +154,21 @@ class RunJournal:
             pass
 
     # ------------------------------------------------------------------
-    def write_header(self, campaign_fingerprint: str, total: int) -> None:
-        self._append(
-            {
-                "kind": HEADER_KIND,
-                "version": JOURNAL_VERSION,
-                "fingerprint": campaign_fingerprint,
-                "total": total,
-            }
-        )
+    def write_header(
+        self,
+        campaign_fingerprint: str,
+        total: int,
+        spec_fingerprint: Optional[str] = None,
+    ) -> None:
+        record: Dict[str, Any] = {
+            "kind": HEADER_KIND,
+            "version": JOURNAL_VERSION,
+            "fingerprint": campaign_fingerprint,
+            "total": total,
+        }
+        if spec_fingerprint is not None:
+            record["spec_fingerprint"] = spec_fingerprint
+        self._append(record)
 
     def append_task(
         self,

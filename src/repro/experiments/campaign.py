@@ -11,9 +11,10 @@ aggregate).
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import (
     OrchestrationController,
@@ -48,6 +49,35 @@ from ..sim.scenario import AttackKind, ScenarioSpec, ScenarioType, build_scenari
 #: The paper's per-scenario seed set (15 runs per scenario, §V).  Every
 #: experiment module shares this one definition.
 DEFAULT_SEEDS: Tuple[int, ...] = tuple(range(15))
+
+
+def normalized_field_values(cls: type, data: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce a plain dict's values to a dataclass's declared field types.
+
+    JSON has one number type, so ``100`` arriving for a ``float`` field
+    must become ``100.0`` — otherwise ``repr``-based digests (journal
+    keys, spec fingerprints) differ between a CLI-built and a
+    JSON-decoded instance of the *same* configuration.  Unknown keys
+    raise ``ValueError``.
+    """
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - set(fields))
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s) {unknown} (known: {sorted(fields)})"
+        )
+    normalized: Dict[str, Any] = {}
+    for name, value in data.items():
+        declared = str(fields[name].type)
+        if (
+            value is not None
+            and "float" in declared
+            and isinstance(value, int)
+            and not isinstance(value, bool)
+        ):
+            value = float(value)
+        normalized[name] = value
+    return normalized
 
 
 @dataclass(frozen=True)
@@ -87,6 +117,58 @@ class CampaignOptions:
     breaker: bool = False
     crash_window: Optional[Tuple[int, int]] = None
     continue_on_role_error: bool = False
+
+    # ------------------------------------------------------------------
+    # plain-dict constructors (shared by the CLIs and the service's JSON
+    # payloads — argparse handlers and HTTP submissions build the *same*
+    # options object, so journal keys and reports agree between them)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; :meth:`from_dict` round-trips it exactly."""
+        data = dataclasses.asdict(self)
+        if self.crash_window is not None:
+            data["crash_window"] = list(self.crash_window)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "CampaignOptions":
+        """Build options from a plain (e.g. JSON-decoded) dict.
+
+        Values are normalized to the exact field types the CLI path
+        produces — ``100`` becomes ``100.0`` for float fields, lists
+        become tuples — so the options digest (and therefore every
+        journal key) is identical however the options were constructed.
+        Unknown keys raise ``ValueError`` (a typo must not silently run
+        a different campaign).
+        """
+        data = dict(data or {})
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown campaign option(s) {unknown} (known: {sorted(known)})"
+            )
+        surrogate = data.get("surrogate_config")
+        if surrogate is not None and not isinstance(surrogate, SurrogateConfig):
+            data["surrogate_config"] = SurrogateConfig(
+                **normalized_field_values(SurrogateConfig, surrogate)
+            )
+        window = data.get("crash_window")
+        if window is not None:
+            if len(window) != 2:
+                raise ValueError(
+                    f"crash_window must be a (start, stop) pair, got {window!r}"
+                )
+            data["crash_window"] = (int(window[0]), int(window[1]))
+        for field_name in ("monitor_horizon_s", "deadline_ms"):
+            if data.get(field_name) is not None:
+                data[field_name] = float(data[field_name])
+        for field_name in (
+            "use_recovery", "halt_on_violation", "breaker", "continue_on_role_error"
+        ):
+            if field_name in data:
+                data[field_name] = bool(data[field_name])
+        return cls(**data)
 
 
 @dataclass
@@ -319,6 +401,19 @@ def options_digest(options: Optional[CampaignOptions]) -> str:
     return fingerprint(options or CampaignOptions())
 
 
+def campaign_spec_fingerprint(options: Optional[CampaignOptions]) -> str:
+    """Journal-header identity of a campaign spec (normalized options).
+
+    Written into the journal header so ``--resume`` against a journal
+    produced under *different* options fails loudly
+    (:class:`~repro.exec.JournalSpecMismatch`) instead of silently
+    re-running everything under new keys while keeping the old records.
+    Deliberately excludes the scenario/seed set: growing a campaign
+    (more seeds, a scenario subset) is a legitimate resume.
+    """
+    return fingerprint({"kind": "campaign", "options": options or CampaignOptions()})
+
+
 def unit_key(
     scenario_type: ScenarioType, seed: int, options: Optional[CampaignOptions] = None
 ) -> str:
@@ -381,6 +476,66 @@ def _decode_outcome(data: Dict[str, object]) -> RunOutcome:
     return RunOutcome(**data)
 
 
+# ----------------------------------------------------------------------
+# canonical campaign report (deterministic; CLI and service write the
+# same bytes for the same spec, interrupted-and-resumed or not)
+# ----------------------------------------------------------------------
+REPORT_SCHEMA_VERSION = 1
+
+#: Per-run fields excluded from the canonical report: they vary with the
+#: host/run (wall clock) or the output location (trace path), and the
+#: report's contract is byte-identity across ``--jobs`` values, CLI vs
+#: service, and interrupted-then-resumed vs uninterrupted executions.
+_NONDETERMINISTIC_OUTCOME_FIELDS = ("wall_time_s", "trace_file")
+
+
+def canonical_outcome(outcome: RunOutcome) -> Dict[str, Any]:
+    """One run's report row: every deterministic :class:`RunOutcome` field."""
+    row = dataclasses.asdict(outcome)
+    for field_name in _NONDETERMINISTIC_OUTCOME_FIELDS:
+        row.pop(field_name, None)
+    return row
+
+
+def build_campaign_report(
+    results: "Dict[ScenarioType, List[RunOutcome]]",
+    options: Optional[CampaignOptions] = None,
+) -> Dict[str, Any]:
+    """The canonical campaign report: per-scenario rows plus aggregates."""
+    scenarios: Dict[str, Any] = {}
+    for scenario_type, outcomes in results.items():
+        rhos = [o.stl_robustness for o in outcomes if o.stl_robustness is not None]
+        scenarios[scenario_type.value] = {
+            "runs": [canonical_outcome(o) for o in outcomes],
+            "collisions": sum(o.collision for o in outcomes),
+            "flagged": sum(o.monitor_flagged for o in outcomes),
+            "recoveries": sum(o.recovery_activations for o in outcomes),
+            "faults_injected": sum(o.faults_injected for o in outcomes),
+            "stl_rho_min": min(rhos) if rhos else None,
+        }
+    return {
+        "kind": "campaign_report",
+        "schema": REPORT_SCHEMA_VERSION,
+        "spec_fingerprint": campaign_spec_fingerprint(options),
+        "options": (options or CampaignOptions()).to_dict(),
+        "total_runs": sum(len(v) for v in results.values()),
+        "scenarios": scenarios,
+    }
+
+
+def write_campaign_report(
+    results: "Dict[ScenarioType, List[RunOutcome]]",
+    path: "str | Path",
+    options: Optional[CampaignOptions] = None,
+) -> Path:
+    """Serialize the canonical report (sorted keys, trailing newline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    report = build_campaign_report(results, options)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def execute_suite(
     scenario_types: Sequence[ScenarioType] = tuple(ScenarioType),
     seeds: Sequence[int] = DEFAULT_SEEDS,
@@ -395,6 +550,7 @@ def execute_suite(
     trace: "str | Path | None" = None,
     profile: "str | Path | None" = None,
     hotspot_top_n: int = 0,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> "Tuple[Dict[ScenarioType, List[RunOutcome]], ExecutionReport]":
     """Run the campaign on the execution engine; return results + telemetry.
 
@@ -434,6 +590,8 @@ def execute_suite(
         trace=trace,
         profile=profile,
         hotspot_top_n=hotspot_top_n,
+        spec_fingerprint=campaign_spec_fingerprint(options),
+        cancel=cancel,
     )
     report = engine.run(units).raise_on_error()
     outcomes = report.results()
@@ -510,6 +668,12 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="record schema-v1 traces for every run into DIR",
     )
     parser.add_argument(
+        "--report", type=Path, default=None, metavar="FILE",
+        help="write the canonical campaign report (deterministic JSON; "
+        "byte-identical for any --jobs and to the same spec submitted "
+        "through `python -m repro.service`)",
+    )
+    parser.add_argument(
         "--profile", type=Path, default=None, metavar="DIR",
         help="record per-run phase profiles into DIR and merge them into "
         "DIR/profile.json (inspect with `python -m repro.obs profile DIR`)",
@@ -534,7 +698,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
 
     configure_logging(args.log_level)
 
-    options = CampaignOptions(deadline_ms=args.deadline_ms, breaker=args.breaker)
+    # Built through the same plain-dict constructor the service's JSON
+    # payloads use, so both paths produce identical options (and digests).
+    options = CampaignOptions.from_dict(
+        {"deadline_ms": args.deadline_ms, "breaker": args.breaker}
+    )
     results, report = execute_suite(
         seeds=tuple(range(args.seeds)),
         options=options,
@@ -562,6 +730,9 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             line += f" degraded={degraded} overruns={overruns}"
         print(line)
     print(report.summary.render(), file=sys.stderr)
+    if args.report is not None:
+        write_campaign_report(results, args.report, options)
+        print(f"report written to {args.report}", file=sys.stderr)
     if args.trace is not None:
         print(f"traces written to {args.trace}", file=sys.stderr)
     if args.profile is not None:

@@ -365,6 +365,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
 
     path = Path(args.path)
+    # A service job directory keeps its profiles under <job>/profile.
+    from .trace import JOB_FILE_NAME
+
+    if path.is_dir() and (path / JOB_FILE_NAME).exists():
+        path = path / "profile"
+        if not path.is_dir():
+            print(
+                f"{args.path} is a job directory without a profile/ "
+                "(submit the job with \"profile\": true)",
+                file=sys.stderr,
+            )
+            return 1
     if path.is_dir():
         merged = path / MERGED_PROFILE_NAME
         if not merged.is_file():

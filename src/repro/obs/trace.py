@@ -61,6 +61,13 @@ ENGINE_TRACE_NAME = "engine" + TRACE_SUFFIX
 #: Campaign manifest file name inside a campaign trace dir.
 MANIFEST_NAME = "manifest.json"
 
+#: Marker file of a service job directory (see :mod:`repro.service.store`;
+#: duplicated here so obs never imports the service package).
+JOB_FILE_NAME = "job.json"
+
+#: Subdirectories of a job directory that hold traces.
+_JOB_TRACE_SUBDIRS = ("trace", "search")
+
 _SAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]+")
 
 
@@ -568,13 +575,24 @@ def load_trace(path: "str | Path") -> TraceData:
 
 def discover_traces(path: "str | Path") -> List[Path]:
     """Trace files under ``path``: the file itself, a manifest's entries
-    (in manifest order), or every ``*.trace.jsonl`` below a directory
-    (sorted by relative path)."""
+    (in manifest order), every ``*.trace.jsonl`` below a directory
+    (sorted by relative path) — or, for a service job directory (marked
+    by ``job.json``), the traces of its ``trace/`` and ``search/``
+    sub-trees plus any trace files directly inside it, so ``repro.obs
+    summarize <job-dir>`` works on whatever the job produced."""
     path = Path(path)
     if path.is_file():
         return [path]
     if not path.is_dir():
         raise FileNotFoundError(f"no trace file or directory at {path}")
+    if (path / JOB_FILE_NAME).exists():
+        found: List[Path] = []
+        for sub in _JOB_TRACE_SUBDIRS:
+            subdir = path / sub
+            if subdir.is_dir():
+                found.extend(discover_traces(subdir))
+        found.extend(sorted(path.glob("*" + TRACE_SUFFIX)))
+        return found
     manifest = path / MANIFEST_NAME
     if manifest.exists():
         entries = json.loads(manifest.read_text()).get("traces", [])

@@ -116,39 +116,46 @@ def _run_driver(args: argparse.Namespace, config: SearchConfig) -> int:
     return 0
 
 
+# Both run subcommands build their SearchConfig through the same
+# plain-dict constructor the service's JSON payloads use, so a spec
+# submitted over HTTP and one typed at the CLI are the same object.
 def cmd_explore(args: argparse.Namespace) -> int:
-    config = SearchConfig(
-        family=args.family,
-        mode="explore",
-        seed=args.seed,
-        budget=args.budget,
-        batch=args.batch,
-        sampler=args.sampler,
-        grid_points=args.grid_points,
-        bins=args.bins,
-        jobs=args.jobs,
-        timeout_s=args.timeout_s,
+    config = SearchConfig.from_dict(
+        {
+            "family": args.family,
+            "mode": "explore",
+            "seed": args.seed,
+            "budget": args.budget,
+            "batch": args.batch,
+            "sampler": args.sampler,
+            "grid_points": args.grid_points,
+            "bins": args.bins,
+            "jobs": args.jobs,
+            "timeout_s": args.timeout_s,
+        }
     )
     return _run_driver(args, config)
 
 
 def cmd_falsify(args: argparse.Namespace) -> int:
-    config = SearchConfig(
-        family=args.family,
-        mode="falsify",
-        seed=args.seed,
-        budget=args.budget,
-        warmup=args.warmup,
-        batch=args.batch,
-        elites=args.elites,
-        scale=args.scale,
-        cooling=args.cooling,
-        minimize=not args.no_minimize,
-        minimize_rounds=args.minimize_rounds,
-        max_counterexamples=args.max_counterexamples,
-        bins=args.bins,
-        jobs=args.jobs,
-        timeout_s=args.timeout_s,
+    config = SearchConfig.from_dict(
+        {
+            "family": args.family,
+            "mode": "falsify",
+            "seed": args.seed,
+            "budget": args.budget,
+            "warmup": args.warmup,
+            "batch": args.batch,
+            "elites": args.elites,
+            "scale": args.scale,
+            "cooling": args.cooling,
+            "minimize": not args.no_minimize,
+            "minimize_rounds": args.minimize_rounds,
+            "max_counterexamples": args.max_counterexamples,
+            "bins": args.bins,
+            "jobs": args.jobs,
+            "timeout_s": args.timeout_s,
+        }
     )
     return _run_driver(args, config)
 

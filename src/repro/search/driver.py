@@ -27,15 +27,16 @@ settled candidates from the journal and only executes what is missing.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..exec import CampaignEngine, EnginePolicy
-from ..experiments.campaign import CampaignOptions
+from ..exec import CampaignEngine, EnginePolicy, fingerprint
+from ..experiments.campaign import CampaignOptions, normalized_field_values
 from ..obs.profile import ENGINE_PROFILE_NAME, PhaseProfiler, merge_profile_dir, write_profile
 from ..obs.telemetry import TelemetryRegistry
 from ..obs.trace import TRACE_SCHEMA_VERSION, TraceWriter
@@ -118,6 +119,32 @@ class SearchConfig:
         if self.elites < 1:
             raise ValueError(f"elites must be >= 1, got {self.elites}")
 
+    # ------------------------------------------------------------------
+    # plain-dict constructors (shared by the CLI's argparse handlers and
+    # the service's JSON job payloads)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; :meth:`from_dict` round-trips it exactly."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SearchConfig":
+        """Build a config from a plain (e.g. JSON-decoded) dict.
+
+        Numeric values are coerced to the declared field types so a
+        JSON-submitted spec and a CLI-built one are the same object (the
+        ``__post_init__`` validation runs either way); unknown keys raise
+        ``ValueError``.
+        """
+        data = normalized_field_values(cls, dict(data or {}))
+        for field_name in ("seed", "budget", "batch", "elites", "grid_points",
+                           "minimize_rounds", "max_counterexamples", "bins", "jobs"):
+            if data.get(field_name) is not None:
+                data[field_name] = int(data[field_name])
+        if data.get("warmup") is not None:
+            data["warmup"] = int(data["warmup"])
+        return cls(**data)
+
 
 @dataclass
 class SearchResult:
@@ -155,9 +182,11 @@ class SearchDriver:
         profile: "str | Path | None" = None,
         resume: bool = False,
         progress: "Any" = "auto",
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.config = config
         self.options = options or CampaignOptions()
+        self.cancel = cancel
         self.space: SearchSpace = get_space(config.family)
         self.out_dir = Path(out_dir)
         self.trace_dir = Path(trace) if trace is not None else None
@@ -174,6 +203,23 @@ class SearchDriver:
         self._trace_writer: Optional[TraceWriter] = None
         self._busy_time_s = 0.0
         self._engine_mode = "serial"
+
+    def spec_fingerprint(self) -> str:
+        """Journal-header identity of this search spec.
+
+        Family, master seed and campaign options determine the candidate
+        stream; budget/batch knobs are excluded so extending a search's
+        budget remains a legitimate resume.
+        """
+        return fingerprint(
+            {
+                "kind": "search",
+                "family": self.config.family,
+                "mode": self.config.mode,
+                "seed": self.config.seed,
+                "options": self.options,
+            }
+        )
 
     # ------------------------------------------------------------------
     # search trace (deterministic: no wall-clock fields)
@@ -268,6 +314,8 @@ class SearchDriver:
             journal=self.out_dir / SEARCH_JOURNAL_NAME,
             resume=True,
             progress=self.progress,
+            spec_fingerprint=self.spec_fingerprint(),
+            cancel=self.cancel,
         )
         report = engine.run(units).raise_on_error()
         summary = report.summary

@@ -1,0 +1,68 @@
+"""The assurance campaign service: a durable job server over the engine.
+
+Turns the batch campaign/search machinery into a long-lived server
+(ROADMAP item: *campaign service mode*): jobs are submitted over an
+HTTP/JSON API, scheduled by priority onto a bounded worker-slot pool,
+executed by the existing :class:`~repro.exec.CampaignEngine` paths, and
+persisted — spec, journal, traces, events, report — in one directory per
+job.  The server holds no state that is not on disk: kill it mid-job and
+a restart re-queues the orphaned job, whose engine journal turns the
+re-run into a resume with a byte-identical final report.
+
+* :mod:`repro.service.jobs` — job specs, lifecycle state machine, kind
+  registry (``campaign`` / ``falsify`` / ``replay`` built in).
+* :mod:`repro.service.store` — the on-disk job store (DESIGN.md §9).
+* :mod:`repro.service.queue` — the priority queue with slot-aware pops.
+* :mod:`repro.service.scheduler` — dispatcher + runner threads.
+* :mod:`repro.service.api` — the stdlib ``http.server`` JSON API.
+* :mod:`repro.service.client` — the stdlib HTTP client (CLI + tests).
+* ``python -m repro.service`` — serve / submit / status / results /
+  watch / cancel.
+"""
+
+from .api import ServiceServer, serve
+from .client import ServiceClient, ServiceError
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    InvalidTransition,
+    JobContext,
+    JobRecord,
+    JobSpec,
+    get_job_kind,
+    known_job_kinds,
+    register_job_kind,
+    unregister_job_kind,
+)
+from .queue import JobQueue
+from .scheduler import Scheduler
+from .store import JobStore, UnknownJob
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "InvalidTransition",
+    "JobContext",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "TERMINAL_STATES",
+    "UnknownJob",
+    "get_job_kind",
+    "known_job_kinds",
+    "register_job_kind",
+    "serve",
+    "unregister_job_kind",
+]

@@ -1,0 +1,100 @@
+"""A thread-safe priority queue of job ids.
+
+Ordering is ``(-priority, seq)``: higher priority first, submission
+order within a priority band.  Cancellation of a queued job uses lazy
+deletion (the heap entry is tombstoned and skipped at pop time), the
+standard heapq idiom.
+
+The queue can share the scheduler's :class:`threading.Condition` so
+"queue non-empty" and "worker slots free" are guarded by one lock —
+:meth:`pop_ready` takes a predicate and only returns an entry the
+caller can actually dispatch (priority order is preserved via backfill:
+the first *fitting* entry wins, so a wide job at the head does not
+starve narrow jobs behind it forever while slots are scarce).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Callable, List, Optional, Tuple
+
+
+class JobQueue:
+    def __init__(self, condition: Optional[threading.Condition] = None) -> None:
+        self._cond = condition or threading.Condition()
+        self._heap: List[Tuple[int, int, str]] = []
+        self._queued: set = set()
+        self._closed = False
+
+    @property
+    def condition(self) -> threading.Condition:
+        return self._cond
+
+    def push(self, job_id: str, priority: int, seq: int) -> None:
+        with self._cond:
+            heapq.heappush(self._heap, (-priority, seq, job_id))
+            self._queued.add(job_id)
+            self._cond.notify_all()
+
+    def remove(self, job_id: str) -> bool:
+        """Tombstone a queued entry; True if it was actually queued."""
+        with self._cond:
+            if job_id not in self._queued:
+                return False
+            self._queued.discard(job_id)
+            self._cond.notify_all()
+            return True
+
+    def close(self) -> None:
+        """Wake all waiters permanently; pop_ready returns None from now on."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def kick(self) -> None:
+        """Wake waiters to re-evaluate their predicate (e.g. slots freed)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def pop_ready(
+        self,
+        ready: Callable[[str], bool],
+        timeout: Optional[float] = None,
+    ) -> Optional[str]:
+        """Block until some queued job satisfies ``ready``; pop and return it.
+
+        ``ready`` is called under the queue lock — keep it cheap.  Scans
+        in priority order and takes the first entry the predicate
+        accepts.  Returns ``None`` on timeout or once :meth:`close` was
+        called.
+        """
+        with self._cond:
+            while True:
+                if self._closed:
+                    return None
+                self._compact()
+                for i, (_, _, job_id) in enumerate(sorted(self._heap)):
+                    if job_id in self._queued and ready(job_id):
+                        self._queued.discard(job_id)
+                        self._compact()
+                        return job_id
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def _compact(self) -> None:
+        """Drop tombstoned heap heads (lazy deletion)."""
+        while self._heap and self._heap[0][2] not in self._queued:
+            heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queued)
+
+    def items(self) -> List[str]:
+        """Queued job ids in pop order (best first)."""
+        with self._cond:
+            entries = sorted(
+                e for e in self._heap if e[2] in self._queued
+            )
+            return [job_id for _, _, job_id in entries]

@@ -1,0 +1,142 @@
+"""Tests for the engine's cancellation hook and the journal's spec
+fingerprint guard (the service's job-cancel and resume-safety paths)."""
+
+import pytest
+
+from repro.exec import (
+    CampaignCancelled,
+    CampaignEngine,
+    EnginePolicy,
+    JournalSpecMismatch,
+    RunJournal,
+    WorkUnit,
+    load_journal,
+)
+
+
+def square(payload):
+    return payload * payload
+
+
+def _units(n):
+    return [WorkUnit(key=f"u{i}", payload=i) for i in range(n)]
+
+
+class TestCancellation:
+    def test_cancel_before_start_raises(self, tmp_path):
+        engine = CampaignEngine(
+            square, EnginePolicy(jobs=1), progress=None, cancel=lambda: True,
+            journal=tmp_path / "j.jsonl",
+        )
+        with pytest.raises(CampaignCancelled):
+            engine.run(_units(4))
+
+    def test_cancel_mid_campaign_keeps_settled_tasks(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        settled = []
+
+        def cancel_after_two():
+            return len(settled) >= 2
+
+        def track(event):
+            if event.kind == "task_finished":
+                settled.append(event.key)
+
+        engine = CampaignEngine(
+            square, EnginePolicy(jobs=1), journal=journal,
+            progress=track, cancel=cancel_after_two,
+        )
+        with pytest.raises(CampaignCancelled):
+            engine.run(_units(5))
+        state = load_journal(journal)
+        assert state.completed_keys() == {"u0", "u1"}
+
+    def test_cancelled_campaign_resumes_to_completion(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        settled = []
+
+        def track(event):
+            if event.kind == "task_finished":
+                settled.append(event.key)
+
+        engine = CampaignEngine(
+            square, EnginePolicy(jobs=1), journal=journal, progress=track,
+            cancel=lambda: len(settled) >= 2,
+            encode=lambda r: r, decode=lambda r: r,
+        )
+        with pytest.raises(CampaignCancelled):
+            engine.run(_units(5))
+
+        resumed = CampaignEngine(
+            square, EnginePolicy(jobs=1), journal=journal, resume=True,
+            progress=None, encode=lambda r: r, decode=lambda r: r,
+        )
+        report = resumed.run(_units(5))
+        assert report.results() == [0, 1, 4, 9, 16]
+        assert report.summary.cached == 2
+        assert report.summary.executed == 3
+
+    def test_pool_mode_observes_cancel(self, tmp_path):
+        cancelled = {"flag": False}
+
+        def cancel():
+            return cancelled["flag"]
+
+        def flip(event):
+            if event.kind == "task_finished":
+                cancelled["flag"] = True
+
+        engine = CampaignEngine(
+            square, EnginePolicy(jobs=2), journal=tmp_path / "j.jsonl",
+            progress=flip, cancel=cancel,
+        )
+        with pytest.raises(CampaignCancelled):
+            engine.run(_units(50))
+        state = load_journal(tmp_path / "j.jsonl")
+        assert 0 < len(state.completed_keys()) < 50
+
+
+class TestSpecFingerprint:
+    def _run(self, journal, fingerprint, resume=False, n=3):
+        engine = CampaignEngine(
+            square, EnginePolicy(jobs=1), journal=journal, resume=resume,
+            progress=None, spec_fingerprint=fingerprint,
+            encode=lambda r: r, decode=lambda r: r,
+        )
+        return engine.run(_units(n))
+
+    def test_matching_fingerprint_resumes(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        self._run(journal, "spec-a")
+        report = self._run(journal, "spec-a", resume=True)
+        assert report.summary.cached == 3
+
+    def test_mismatched_fingerprint_refuses_resume(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        self._run(journal, "spec-a")
+        with pytest.raises(JournalSpecMismatch) as excinfo:
+            self._run(journal, "spec-b", resume=True)
+        assert "spec-a" in str(excinfo.value)
+        assert "spec-b" in str(excinfo.value)
+
+    def test_legacy_journal_without_fingerprint_is_tolerated(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        with RunJournal(journal) as jh:
+            jh.write_header("campaign-fp", total=3)
+            jh.append_task("u0", "ok", attempts=1, elapsed_s=0.0, result=0)
+        report = self._run(journal, "spec-a", resume=True)
+        assert report.summary.cached == 1
+
+    def test_unfingerprinted_engine_ignores_recorded_fingerprint(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        self._run(journal, "spec-a")
+        engine = CampaignEngine(
+            square, EnginePolicy(jobs=1), journal=journal, resume=True,
+            progress=None, encode=lambda r: r, decode=lambda r: r,
+        )
+        assert engine.run(_units(3)).summary.cached == 3
+
+    def test_fresh_journal_records_fingerprint(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        self._run(journal, "spec-a")
+        assert load_journal(journal).header["spec_fingerprint"] == "spec-a"

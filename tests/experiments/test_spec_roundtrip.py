@@ -1,0 +1,156 @@
+"""Round-trip tests for the plain-dict spec constructors shared by the
+CLIs and the service's JSON payloads: a spec that crosses a JSON
+boundary must produce the *same* options object — same digests, same
+journal keys, same reports — as one built in-process."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignOptions,
+    RunOutcome,
+    build_campaign_report,
+    campaign_spec_fingerprint,
+    options_digest,
+    write_campaign_report,
+)
+from repro.llm.surrogate import SurrogateConfig
+from repro.search.driver import SearchConfig
+from repro.sim.scenario import ScenarioType
+
+
+def json_round_trip(data):
+    """What an HTTP submission does to a payload."""
+    return json.loads(json.dumps(data))
+
+
+class TestCampaignOptionsRoundTrip:
+    def test_defaults_round_trip(self):
+        options = CampaignOptions()
+        assert CampaignOptions.from_dict(options.to_dict()) == options
+
+    def test_full_round_trip_through_json(self):
+        options = CampaignOptions(
+            use_recovery=False,
+            recovery_strategy="replan",
+            planner="rule",
+            surrogate_config=SurrogateConfig(hesitation_rate=0.2),
+            monitor_horizon_s=2.0,
+            halt_on_violation=True,
+            deadline_ms=100.0,
+            breaker=True,
+            crash_window=(10, 20),
+            continue_on_role_error=True,
+        )
+        rebuilt = CampaignOptions.from_dict(json_round_trip(options.to_dict()))
+        assert rebuilt == options
+        assert options_digest(rebuilt) == options_digest(options)
+
+    def test_json_integers_coerce_to_float_fields(self):
+        # JSON has one number type: {"deadline_ms": 100} must equal a
+        # CLI-built CampaignOptions(deadline_ms=100.0) digest-for-digest.
+        rebuilt = CampaignOptions.from_dict(
+            {"deadline_ms": 100, "monitor_horizon_s": 1}
+        )
+        direct = CampaignOptions(deadline_ms=100.0, monitor_horizon_s=1.0)
+        assert rebuilt == direct
+        assert repr(rebuilt) == repr(direct)
+        assert options_digest(rebuilt) == options_digest(direct)
+        assert campaign_spec_fingerprint(rebuilt) == campaign_spec_fingerprint(direct)
+
+    def test_surrogate_config_dict_is_normalized(self):
+        rebuilt = CampaignOptions.from_dict(
+            {"surrogate_config": {"hesitation_rate": 0, "decision_period_ticks": 5}}
+        )
+        direct = CampaignOptions(
+            surrogate_config=SurrogateConfig(
+                hesitation_rate=0.0, decision_period_ticks=5
+            )
+        )
+        assert options_digest(rebuilt) == options_digest(direct)
+
+    def test_crash_window_list_becomes_tuple(self):
+        rebuilt = CampaignOptions.from_dict({"crash_window": [10, 20]})
+        assert rebuilt.crash_window == (10, 20)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown campaign option"):
+            CampaignOptions.from_dict({"deadline_msec": 100})
+
+    def test_unknown_surrogate_key_raises(self):
+        with pytest.raises(ValueError, match="unknown SurrogateConfig"):
+            CampaignOptions.from_dict({"surrogate_config": {"nope": 1}})
+
+    def test_bad_crash_window_raises(self):
+        with pytest.raises(ValueError, match="crash_window"):
+            CampaignOptions.from_dict({"crash_window": [1, 2, 3]})
+
+    def test_none_and_empty_give_defaults(self):
+        assert CampaignOptions.from_dict(None) == CampaignOptions()
+        assert CampaignOptions.from_dict({}) == CampaignOptions()
+
+
+class TestSearchConfigRoundTrip:
+    def test_round_trip_through_json(self):
+        config = SearchConfig(
+            family="congested", mode="explore", seed=7, budget=12,
+            batch=4, sampler="grid", grid_points=2, bins=3, jobs=2,
+            timeout_s=30.0,
+        )
+        rebuilt = SearchConfig.from_dict(json_round_trip(config.to_dict()))
+        assert rebuilt == config
+
+    def test_json_number_coercion(self):
+        rebuilt = SearchConfig.from_dict(
+            {"family": "congested", "scale": 1, "cooling": 1, "seed": 3.0}
+        )
+        direct = SearchConfig(family="congested", scale=1.0, cooling=1.0, seed=3)
+        assert rebuilt == direct
+        assert repr(rebuilt) == repr(direct)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown SearchConfig"):
+            SearchConfig.from_dict({"family": "congested", "budge": 5})
+
+    def test_validation_still_runs(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            SearchConfig.from_dict({"family": "congested", "mode": "wander"})
+
+
+def _outcome(seed, wall=0.5, trace=None):
+    return RunOutcome(
+        scenario="nominal", seed=seed, monitor_flagged=False,
+        safety_flag_count=0, collision=False, clearance_time=3.0,
+        gridlocked=False, timed_out=False, recovery_activations=0,
+        faults_injected=0, comfort_violations=0, performance_flags=0,
+        iterations=30, wall_time_s=wall, trace_file=trace,
+        stl_robustness=0.5,
+    )
+
+
+class TestCanonicalReport:
+    def test_nondeterministic_fields_excluded(self):
+        results = {ScenarioType.NOMINAL: [_outcome(0, wall=1.23, trace="/tmp/a")]}
+        report = build_campaign_report(results)
+        row = report["scenarios"]["nominal"]["runs"][0]
+        assert "wall_time_s" not in row
+        assert "trace_file" not in row
+        assert row["seed"] == 0
+
+    def test_byte_identical_across_wall_times(self, tmp_path):
+        options = CampaignOptions.from_dict({"deadline_ms": 100})
+        a = {ScenarioType.NOMINAL: [_outcome(0, wall=0.1), _outcome(1, wall=9.9)]}
+        b = {ScenarioType.NOMINAL: [_outcome(0, wall=7.7, trace="/x"), _outcome(1)]}
+        path_a = write_campaign_report(a, tmp_path / "a.json", options)
+        path_b = write_campaign_report(b, tmp_path / "b.json", options)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_report_carries_spec_fingerprint_and_options(self):
+        options = CampaignOptions(breaker=True)
+        report = build_campaign_report(
+            {ScenarioType.NOMINAL: [_outcome(0)]}, options
+        )
+        assert report["spec_fingerprint"] == campaign_spec_fingerprint(options)
+        assert report["options"]["breaker"] is True
+        assert report["total_runs"] == 1

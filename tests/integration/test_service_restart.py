@@ -1,0 +1,173 @@
+"""Kill-and-restart integration test for the assurance service.
+
+A server is started as a real subprocess, a campaign job is submitted
+over HTTP, and the server is SIGKILLed once the job's engine journal
+shows settled runs.  A second server over the same root must re-queue
+the orphaned job, resume it from the journal, and produce a final
+``report.json`` byte-identical to an uninterrupted in-process run of
+the same spec — the service's core durability contract.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignOptions,
+    execute_suite,
+    write_campaign_report,
+)
+from repro.service import ServiceClient
+from repro.sim.scenario import ScenarioType
+
+SPEC = {"scenarios": ["nominal"], "seed_count": 4}
+SEEDS = tuple(range(4))
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _start_server(root: Path) -> "tuple[subprocess.Popen, str]":
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "serve",
+            "--root", str(root), "--port", "0", "--workers", "1",
+            "--log-level", "WARNING",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=_env(),
+    )
+    line = proc.stdout.readline()
+    assert line.startswith("serving on "), f"unexpected server banner: {line!r}"
+    url = line.split()[2]
+    return proc, url
+
+
+def _wait_journal_progress(journal: Path, min_tasks: int, timeout: float = 120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal.exists():
+            tasks = [
+                line
+                for line in journal.read_text().splitlines()
+                if '"kind": "task"' in line or '"kind":"task"' in line
+            ]
+            if len(tasks) >= min_tasks:
+                return len(tasks)
+        time.sleep(0.05)
+    raise AssertionError(f"journal {journal} never reached {min_tasks} tasks")
+
+
+@pytest.mark.slow
+def test_sigkill_midjob_restart_resumes_byte_identical(tmp_path):
+    root = tmp_path / "service-root"
+
+    # ------------------------------------------------ first server: kill it
+    proc, url = _start_server(root)
+    try:
+        client = ServiceClient(url, timeout=30.0)
+        record = client.submit("campaign", SPEC)
+        job_id = record["id"]
+        journal = root / "jobs" / job_id / "journal.jsonl"
+        settled_before_kill = _wait_journal_progress(journal, min_tasks=1)
+    finally:
+        proc.kill()  # SIGKILL: no shutdown hooks, no journal flushing help
+        proc.wait(timeout=10)
+
+    # The job is orphaned mid-flight on disk.
+    state = json.loads((root / "jobs" / job_id / "state.json").read_text())
+    assert state["state"] in ("running", "queued")
+
+    # ------------------------------------------------ second server: resume
+    proc, url = _start_server(root)
+    try:
+        client = ServiceClient(url, timeout=30.0)
+        final = client.wait(job_id, timeout=180.0)
+        assert final["state"] == "done", final
+        assert final["recovered"] >= 1
+        body = client.results(job_id)
+        assert body["report"]["total_runs"] == len(SEEDS)
+        # The resumed run replayed at least the pre-kill settled tasks.
+        assert body["result"]["resumed"] >= min(settled_before_kill, 1)
+        event_kinds = {
+            e["kind"] for e in client.watch(job_id, wait=1.0)
+        }
+        assert "job_recovered" in event_kinds
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+
+    service_report = (root / "jobs" / job_id / "report.json").read_bytes()
+
+    # ------------------------------------------------ uninterrupted baseline
+    options = CampaignOptions.from_dict(SPEC.get("options"))
+    results, _ = execute_suite(
+        (ScenarioType.NOMINAL,), SEEDS, options, jobs=1, progress=None
+    )
+    baseline = write_campaign_report(results, tmp_path / "baseline.json", options)
+    assert baseline.read_bytes() == service_report
+
+
+@pytest.mark.slow
+def test_cli_submit_wait_status_results(tmp_path):
+    root = tmp_path / "service-root"
+    proc, url = _start_server(root)
+    try:
+        run = subprocess.run(
+            [
+                sys.executable, "-m", "repro.service", "submit",
+                "--url", url, "--kind", "campaign",
+                "--spec", json.dumps({"scenarios": ["nominal"], "seed_count": 1}),
+                "--wait", "--timeout", "120",
+            ],
+            capture_output=True, text=True, env=_env(), timeout=150,
+        )
+        assert run.returncode == 0, run.stderr
+        job_id = run.stdout.splitlines()[0].strip()
+
+        status = subprocess.run(
+            [sys.executable, "-m", "repro.service", "status", "--url", url],
+            capture_output=True, text=True, env=_env(), timeout=30,
+        )
+        assert job_id in status.stdout
+        assert "done" in status.stdout
+
+        results = subprocess.run(
+            [
+                sys.executable, "-m", "repro.service", "results",
+                "--url", url, job_id,
+            ],
+            capture_output=True, text=True, env=_env(), timeout=30,
+        )
+        assert results.returncode == 0
+        body = json.loads(results.stdout)
+        assert body["report"]["total_runs"] == 1
+
+        # The service.json discovery file lets clients use --root instead.
+        service_file = json.loads((root / "service.json").read_text())
+        assert service_file["url"] == url
+
+        # obs summarize self-certifies the job's trace directory.
+        summarize = subprocess.run(
+            [
+                sys.executable, "-m", "repro.obs", "summarize",
+                str(root / "jobs" / job_id),
+            ],
+            capture_output=True, text=True, env=_env(), timeout=60,
+        )
+        assert summarize.returncode == 0, summarize.stdout + summarize.stderr
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)

@@ -219,3 +219,24 @@ class TestDiscovery:
         runs = load_run_traces(tmp_path)
         # Sorted by trace id regardless of discovery order.
         assert [t.trace_id for t in runs] == ["run-a", "run-b"]
+
+    def test_service_job_dir_gathers_all_trace_sources(self, tmp_path):
+        # A job directory (marked by job.json) holds traces in trace/,
+        # search/ and directly inside it; discovery must find them all.
+        from repro.obs.trace import discover_traces
+
+        job_dir = tmp_path / "j000001"
+        job_dir.mkdir()
+        (job_dir / "job.json").write_text("{}")
+        _traced_run(job_dir / "trace" / "units", name="unit-a")
+        _traced_run(job_dir / "search", name="eval-b")
+        _traced_run(job_dir, name="replay")
+        found = discover_traces(job_dir)
+        names = sorted(p.name for p in found)
+        assert names == [
+            "eval-b.trace.jsonl",
+            "replay.trace.jsonl",
+            "unit-a.trace.jsonl",
+        ]
+        runs = load_run_traces(job_dir)
+        assert [t.trace_id for t in runs] == ["eval-b", "replay", "unit-a"]

@@ -1,0 +1,152 @@
+"""Tests for the HTTP/JSON API, exercised over real sockets with the
+stdlib client."""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+
+from .conftest import make_gate
+
+
+@pytest.fixture
+def client(api):
+    return ServiceClient(api.url, timeout=10.0)
+
+
+def _wait_done(client, job_id, timeout=10.0):
+    record = client.wait(job_id, timeout=timeout)
+    assert record["state"] == "done", record
+    return record
+
+
+class TestBasics:
+    def test_healthz(self, client):
+        body = client.health()
+        assert body["status"] == "ok"
+        assert "campaign" in body["kinds"]
+
+    def test_stats(self, client):
+        stats = client.stats()
+        assert stats["workers"] == 2
+        assert "telemetry" in stats
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("GET", "/v1/nonsense")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("j424242")
+        assert excinfo.value.status == 404
+
+
+class TestSubmitAndQuery:
+    def test_submit_runs_to_done(self, client):
+        record = client.submit("ok", {"x": 3})
+        assert record["state"] == "queued"
+        final = _wait_done(client, record["id"])
+        assert final["result"] == {"echo": 3}
+
+    def test_submit_bad_kind_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("mystery", {})
+        assert excinfo.value.status == 400
+        assert "unknown job kind" in excinfo.value.message
+
+    def test_submit_invalid_spec_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("ok", {})  # validator requires 'x'
+        assert excinfo.value.status == 400
+
+    def test_submit_malformed_json_400(self, api):
+        request = urllib.request.Request(
+            api.url + "/v1/jobs", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_job_listing(self, client):
+        a = client.submit("ok", {"x": 1})
+        b = client.submit("ok", {"x": 2})
+        ids = [r["id"] for r in client.jobs()]
+        assert ids == sorted([a["id"], b["id"]])
+
+
+class TestResults:
+    def test_results_409_until_done(self, client, fake_kinds):
+        spec, release, wait_running = make_gate(fake_kinds, "api-gate")
+        record = client.submit("blocker", spec)
+        wait_running()
+        with pytest.raises(ServiceError) as excinfo:
+            client.results(record["id"])
+        assert excinfo.value.status == 409
+        release()
+        _wait_done(client, record["id"])
+        body = client.results(record["id"])
+        assert body["result"] == {"gate": "api-gate"}
+
+    def test_results_of_failed_job_carry_traceback(self, client):
+        record = client.submit("boom", {"message": "zap"})
+        final = client.wait(record["id"], timeout=10.0)
+        assert final["state"] == "failed"
+        body = client.results(record["id"])
+        assert "zap" in body["error"]
+        assert "RuntimeError" in body["traceback"]
+
+
+class TestCancel:
+    def test_cancel_running_job(self, client, fake_kinds):
+        spec, _release, wait_running = make_gate(fake_kinds, "api-cancel")
+        record = client.submit("blocker", spec)
+        wait_running()
+        client.cancel(record["id"])
+        final = client.wait(record["id"], timeout=10.0)
+        assert final["state"] == "cancelled"
+
+
+class TestEvents:
+    def test_event_stream_with_offsets(self, client):
+        record = client.submit("ok", {"x": 1})
+        _wait_done(client, record["id"])
+        events, offset, state = client.events(record["id"])
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "job_queued"
+        assert kinds[-1] == "job_done"
+        assert state == "done"
+        # Cursor past the end: empty, returns immediately (terminal).
+        again, offset2, state = client.events(record["id"], offset=offset, wait=5.0)
+        assert again == []
+        assert offset2 == offset
+        assert state == "done"
+
+    def test_watch_terminates(self, client):
+        record = client.submit("ok", {"x": 1})
+        started = time.monotonic()
+        events = list(client.watch(record["id"], wait=2.0))
+        assert time.monotonic() - started < 20.0
+        assert [e["kind"] for e in events][-1] == "job_done"
+
+    def test_long_poll_delivers_new_events(self, client, fake_kinds):
+        spec, release, wait_running = make_gate(fake_kinds, "api-poll")
+        record = client.submit("blocker", spec)
+        wait_running()
+        events, offset, _ = client.events(record["id"])
+        import threading
+
+        threading.Timer(0.3, release).start()
+        # Long-poll should return the job_done event without a full wait.
+        deadline = time.monotonic() + 10.0
+        got = []
+        while time.monotonic() < deadline:
+            new, offset, state = client.events(record["id"], offset=offset, wait=5.0)
+            got.extend(e["kind"] for e in new)
+            if state == "done" and not new:
+                break
+        assert "job_done" in got

@@ -1,0 +1,95 @@
+"""Tests for the priority queue: ordering, lazy deletion, slot-aware pops."""
+
+import threading
+
+from repro.service import JobQueue
+
+
+class TestOrdering:
+    def test_priority_then_submission_order(self):
+        q = JobQueue()
+        q.push("low", priority=0, seq=1)
+        q.push("high", priority=5, seq=2)
+        q.push("mid", priority=3, seq=3)
+        assert q.items() == ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self):
+        q = JobQueue()
+        q.push("first", priority=1, seq=1)
+        q.push("second", priority=1, seq=2)
+        assert q.items() == ["first", "second"]
+
+    def test_pop_ready_takes_best(self):
+        q = JobQueue()
+        q.push("low", priority=0, seq=1)
+        q.push("high", priority=9, seq=2)
+        assert q.pop_ready(lambda _: True, timeout=0.1) == "high"
+        assert q.pop_ready(lambda _: True, timeout=0.1) == "low"
+        assert len(q) == 0
+
+
+class TestRemoval:
+    def test_remove_queued(self):
+        q = JobQueue()
+        q.push("a", priority=0, seq=1)
+        assert q.remove("a") is True
+        assert q.remove("a") is False
+        assert q.items() == []
+        assert q.pop_ready(lambda _: True, timeout=0.05) is None
+
+    def test_remove_middle_entry_keeps_others(self):
+        q = JobQueue()
+        for i, name in enumerate(("a", "b", "c")):
+            q.push(name, priority=0, seq=i)
+        q.remove("b")
+        assert q.items() == ["a", "c"]
+
+
+class TestSlotAwarePop:
+    def test_backfill_skips_unready_head(self):
+        # "wide" has priority but doesn't fit; "narrow" behind it does.
+        q = JobQueue()
+        q.push("wide", priority=9, seq=1)
+        q.push("narrow", priority=0, seq=2)
+        popped = q.pop_ready(lambda job_id: job_id == "narrow", timeout=0.2)
+        assert popped == "narrow"
+        assert q.items() == ["wide"]
+
+    def test_pop_blocks_until_push(self):
+        q = JobQueue()
+        result = {}
+
+        def consumer():
+            result["got"] = q.pop_ready(lambda _: True, timeout=5.0)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        q.push("late", priority=0, seq=1)
+        thread.join(timeout=5.0)
+        assert result["got"] == "late"
+
+    def test_kick_reevaluates_predicate(self):
+        q = JobQueue()
+        q.push("a", priority=0, seq=1)
+        gate = {"open": False}
+        result = {}
+
+        def consumer():
+            result["got"] = q.pop_ready(lambda _: gate["open"], timeout=5.0)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        gate["open"] = True
+        q.kick()
+        thread.join(timeout=5.0)
+        assert result["got"] == "a"
+
+    def test_timeout_returns_none(self):
+        q = JobQueue()
+        assert q.pop_ready(lambda _: True, timeout=0.05) is None
+
+    def test_close_wakes_and_disables(self):
+        q = JobQueue()
+        q.push("a", priority=0, seq=1)
+        q.close()
+        assert q.pop_ready(lambda _: True, timeout=0.05) is None
