@@ -15,6 +15,8 @@ from typing import Dict, Iterable, List, Union
 
 from ..experiments.campaign import RunOutcome
 
+from ..jsonutil import dumps as strict_dumps
+
 #: Column order for CSV export (RunOutcome field order).
 FIELDS = [field.name for field in dataclasses.fields(RunOutcome)]
 
@@ -43,7 +45,7 @@ def to_jsonl(results: Union[Dict, Iterable[RunOutcome]], path: Union[str, Path])
     path = Path(path)
     with path.open("w") as handle:
         for outcome in outcomes:
-            handle.write(json.dumps(dataclasses.asdict(outcome)) + "\n")
+            handle.write(strict_dumps(dataclasses.asdict(outcome)) + "\n")
     return len(outcomes)
 
 

@@ -18,6 +18,8 @@ from typing import TYPE_CHECKING
 
 from ..core.events import Event, EventKind
 
+from ..jsonutil import dumps as strict_dumps
+
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> env import cycle
     from ..core.orchestrator import OrchestrationController
 
@@ -44,7 +46,7 @@ class TraceFrame:
     verdicts: Dict[str, str] = field(default_factory=dict)
 
     def to_json(self) -> str:
-        return json.dumps(
+        return strict_dumps(
             {
                 "iteration": self.iteration,
                 "time": self.time,

@@ -234,6 +234,10 @@ class IntersectionSimInterface(EnvironmentInterface):
 
     def result_info(self) -> Dict[str, Any]:
         world = self.world
+        # min_true_gap defaults to +inf until another entity comes within
+        # range; JSON has no Infinity token, so the unobserved case is
+        # encoded as null plus an explicit flag.
+        gap_observed = math.isfinite(world.min_true_gap)
         return {
             "scenario": self.spec.name,
             "seed": self.spec.seed,
@@ -241,7 +245,8 @@ class IntersectionSimInterface(EnvironmentInterface):
             "collision": world.had_collision,
             "clearance_time": world.ego_clearance_time,
             "gridlocked": world.gridlocked,
-            "min_true_gap": world.min_true_gap,
+            "min_true_gap": world.min_true_gap if gap_observed else None,
+            "min_true_gap_observed": gap_observed,
             "timed_out": world.timed_out,
             "final_time": world.time,
             "last_maneuver": self._last_maneuver.value if self._last_maneuver else None,

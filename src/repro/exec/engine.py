@@ -48,6 +48,7 @@ from ..obs.profile import (
 )
 from ..obs.telemetry import TelemetryRegistry
 from ..obs.trace import EngineTracer
+from .blocks import execute_block, plan_blocks
 from .journal import RunJournal, check_spec_fingerprint, load_journal
 from .progress import (
     CAMPAIGN_FINISHED,
@@ -98,12 +99,20 @@ class EnginePolicy:
             thread; elsewhere tasks run undeadlined.
         max_retries: extra attempts after the first failure.
         retry_backoff_s: base backoff, doubled per subsequent attempt.
+        block_size: units executed per worker dispatch.  ``1`` (default)
+            dispatches per unit; larger values amortize dispatch/journal
+            overhead over short tasks via :mod:`repro.exec.blocks`.  A
+            block's deadline is ``timeout_s * block members``; any member
+            that fails inside a block — or whose whole block dies — is
+            re-run through the per-unit retry path, so fault tolerance is
+            unchanged.
     """
 
     jobs: int = 1
     timeout_s: Optional[float] = None
     max_retries: int = 2
     retry_backoff_s: float = 0.05
+    block_size: int = 1
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -112,6 +121,8 @@ class EnginePolicy:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
 
 
 @dataclass(frozen=True)
@@ -227,6 +238,19 @@ def _task_entry(
     return result, f"pid{os.getpid()}", time.perf_counter() - started
 
 
+def _block_entry(
+    payload: Any, timeout_s: Optional[float]
+) -> "Tuple[Any, str]":
+    """(member outcomes, worker id) for one block dispatch.
+
+    The deadline covers the whole block — callers scale ``timeout_s`` by
+    the member count — and a block-level timeout/crash sends every member
+    back to the per-unit retry path.
+    """
+    outcomes = _call_with_deadline(execute_block, payload, timeout_s)
+    return outcomes, f"pid{os.getpid()}"
+
+
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
@@ -290,8 +314,13 @@ class CampaignEngine:
         hotspot_top_n: int = 0,
         spec_fingerprint: Optional[str] = None,
         cancel: Optional[Callable[[], bool]] = None,
+        block_fn: Optional[Callable[[Any], Any]] = None,
     ) -> None:
         self.fn = fn
+        # Optional block worker (``__block_worker__ = True``): runs a whole
+        # block's payloads in one call when block_size > 1; per-unit
+        # execution (and retry fallback) always uses ``fn``.
+        self.block_fn = block_fn
         self.policy = policy or EnginePolicy()
         self.encode = encode or (lambda value: value)
         self.decode = decode or (lambda value: value)
@@ -354,6 +383,14 @@ class CampaignEngine:
 
         try:
             settle = self._make_settler(records, journal, summary, len(units), started)
+            if (
+                pending
+                and self.policy.block_size > 1
+                and self.hotspot_top_n == 0
+            ):
+                # Hotspot capture stays per-unit: its cProfile files are
+                # keyed by unit, which block dispatch cannot honour.
+                pending = self._run_blocks(pending, settle, use_pool)
             if pending:
                 if use_pool:
                     self._run_pool(pending, settle, summary)
@@ -564,6 +601,144 @@ class CampaignEngine:
             elapsed_s=elapsed_s,
             error=error,
         )
+
+    # ------------------------------------------------------------------
+    # block execution (block_size > 1)
+    # ------------------------------------------------------------------
+    def _block_timeout(self, size: int) -> Optional[float]:
+        if self.policy.timeout_s is None:
+            return None
+        return self.policy.timeout_s * size
+
+    def _settle_block_outcomes(
+        self,
+        block: Sequence[WorkUnit],
+        outcomes: Any,
+        worker: str,
+        settle: Callable[[TaskRecord], None],
+        leftovers: List[WorkUnit],
+    ) -> None:
+        """Settle a block's successes; queue everything else for per-unit runs."""
+        by_key = {o.key: o for o in outcomes}
+        for unit in block:
+            outcome = by_key.get(unit.key)
+            if outcome is None or not outcome.ok:
+                leftovers.append(unit)
+                continue
+            if self._profiler is not None:
+                self._profiler.record("engine.worker_run", outcome.elapsed_s)
+            settle(
+                TaskRecord(
+                    key=unit.key,
+                    status="ok",
+                    attempts=1,
+                    elapsed_s=outcome.elapsed_s,
+                    worker=worker,
+                    result=outcome.result,
+                )
+            )
+
+    def _run_blocks(
+        self,
+        pending: Sequence[WorkUnit],
+        settle: Callable[[TaskRecord], None],
+        use_pool: bool,
+    ) -> List[WorkUnit]:
+        """Dispatch pending units in blocks; return units still needing
+        per-unit execution (in-block failures, dead/timed-out blocks)."""
+        blocks = plan_blocks(pending, self.policy.block_size)
+        leftovers: List[WorkUnit] = []
+        if use_pool:
+            self._run_blocks_pool(blocks, settle, leftovers)
+        else:
+            self._run_blocks_serial(blocks, settle, leftovers)
+        return leftovers
+
+    def _run_blocks_serial(
+        self,
+        blocks: Sequence[Sequence[WorkUnit]],
+        settle: Callable[[TaskRecord], None],
+        leftovers: List[WorkUnit],
+    ) -> None:
+        for block in blocks:
+            self._check_cancelled()
+            worker = self.block_fn if self.block_fn is not None else self.fn
+            payload = (worker, [(u.key, u.payload) for u in block])
+            try:
+                outcomes = _call_with_deadline(
+                    execute_block, payload, self._block_timeout(len(block))
+                )
+            except Exception:  # noqa: BLE001 - block fails over to per-unit
+                leftovers.extend(block)
+                continue
+            self._settle_block_outcomes(block, outcomes, "main", settle, leftovers)
+
+    def _run_blocks_pool(
+        self,
+        blocks: Sequence[Sequence[WorkUnit]],
+        settle: Callable[[TaskRecord], None],
+        leftovers: List[WorkUnit],
+    ) -> None:
+        """One-shot block fan-out: no block-level retries, no pool rebuild.
+
+        Any block that fails wholesale (timeout, dead worker, broken pool)
+        just drains its members into ``leftovers``; the caller's per-unit
+        pool path owns retries and pool recovery.
+        """
+        context = multiprocessing.get_context("fork")
+        executor = ProcessPoolExecutor(
+            max_workers=self.policy.jobs, mp_context=context
+        )
+        in_flight: "Dict[Future, Sequence[WorkUnit]]" = {}
+        profiler = self._profiler
+
+        def submit(block: Sequence[WorkUnit]) -> None:
+            worker = self.block_fn if self.block_fn is not None else self.fn
+            payload = (worker, [(u.key, u.payload) for u in block])
+            timeout_s = self._block_timeout(len(block))
+            if profiler is not None:
+                import pickle
+
+                with profiler.phase("engine.pickle"):
+                    pickle.dumps(payload)
+                with profiler.phase("engine.dispatch"):
+                    future = executor.submit(_block_entry, payload, timeout_s)
+            else:
+                future = executor.submit(_block_entry, payload, timeout_s)
+            in_flight[future] = block
+
+        try:
+            for block in blocks:
+                submit(block)
+            while in_flight:
+                self._check_cancelled()
+                timeout = 0.25 if self.cancel is not None else None
+                done, _ = wait(
+                    list(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                pool_broken = False
+                for future in done:
+                    block = in_flight.pop(future)
+                    try:
+                        outcomes, worker = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        leftovers.extend(block)
+                    except Exception:  # noqa: BLE001 - fails over to per-unit
+                        leftovers.extend(block)
+                    else:
+                        self._settle_block_outcomes(
+                            block, outcomes, worker, settle, leftovers
+                        )
+                if pool_broken:
+                    # The remaining futures are doomed with the pool; drain
+                    # every unsettled block to the per-unit path, which
+                    # builds a fresh pool of its own.
+                    for block in in_flight.values():
+                        leftovers.extend(block)
+                    in_flight.clear()
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # serial (in-process) execution

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, IO, Optional
 
+from ..jsonutil import dumps as strict_dumps
+
 JOURNAL_VERSION = 1
 
 HEADER_KIND = "header"
@@ -146,7 +148,7 @@ class RunJournal:
 
     def _append(self, record: Dict[str, Any]) -> None:
         fh = self._handle()
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.write(strict_dumps(record, sort_keys=True) + "\n")
         fh.flush()
         try:
             os.fsync(fh.fileno())

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..jsonutil import dumps as strict_dumps
 from .profile import PhaseProfiler, load_profile
 
 #: Version stamp of the BENCH JSON layout.
@@ -57,6 +58,7 @@ class Workload:
     scenarios: Tuple[str, ...]
     seeds: Tuple[int, ...]
     jobs: int = 1
+    block_size: int = 1
     deadline_ms: Optional[float] = None
     breaker: bool = False
     quick: bool = False
@@ -78,6 +80,7 @@ class Workload:
             "scenarios": list(self.scenarios),
             "seeds": list(self.seeds),
             "jobs": self.jobs,
+            "block_size": self.block_size,
             "deadline_ms": self.deadline_ms,
             "breaker": self.breaker,
         }
@@ -93,6 +96,15 @@ WORKLOADS: Dict[str, Workload] = {
             scenarios=("nominal",),
             seeds=(0, 1),
             jobs=1,
+            quick=True,
+        ),
+        Workload(
+            name="smoke-batch",
+            description="2 nominal runs in one dispatch block — block-path tripwire",
+            scenarios=("nominal",),
+            seeds=(0, 1),
+            jobs=1,
+            block_size=2,
             quick=True,
         ),
         Workload(
@@ -195,6 +207,7 @@ def _run_campaign_pass(
             workload.seeds,
             options,
             jobs=effective_jobs,
+            block_size=workload.block_size,
             progress=None,
             profile=profile_dir,
         )
@@ -336,7 +349,7 @@ def write_bench(payload: Dict[str, Any], out_dir: "str | Path") -> Path:
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / bench_file_name(payload["workload"])
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(strict_dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

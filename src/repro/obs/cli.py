@@ -37,6 +37,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..jsonutil import dumps as strict_dumps
 from .telemetry import TelemetryRegistry
 from .trace import (
     TRACE_SCHEMA_VERSION,
@@ -194,7 +195,7 @@ def render_summary(summary: Dict[str, Any], timing: bool = True) -> str:
 def cmd_summarize(args: argparse.Namespace) -> int:
     summary = summarize_path(args.path)
     if args.json:
-        print(json.dumps(summary, indent=2, sort_keys=True))
+        print(strict_dumps(summary, indent=2, sort_keys=True))
     else:
         print(render_summary(summary, timing=not args.no_timing))
     return 1 if summary["mismatches"] else 0
@@ -385,7 +386,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     else:
         data = load_profile(path)
     if args.json:
-        print(json.dumps(data, indent=2, sort_keys=True))
+        print(strict_dumps(data, indent=2, sort_keys=True))
     else:
         print(render_profile(data, timing=not args.no_timing))
     return 0

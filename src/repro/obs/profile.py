@@ -18,7 +18,10 @@ Phase taxonomy (see DESIGN.md §7a):
   ``trace.io``;
 * engine phases (recorded by a profiling
   :class:`~repro.exec.engine.CampaignEngine`): ``engine.dispatch``,
-  ``engine.pickle``, ``engine.worker_run``, ``engine.retry_wait``.
+  ``engine.pickle``, ``engine.worker_run``, ``engine.retry_wait``;
+* batched-simulation phase (recorded by a profiled
+  :class:`~repro.sim.batch.BatchWorlds`): ``sim.batch_step`` — one sample
+  per lockstep tick across the whole batch.
 
 Arming is strictly opt-in: the controller and engine hold
 ``profiler = None`` by default and pay one ``is not None`` check per
@@ -40,6 +43,7 @@ import time as wall_clock
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..jsonutil import dumps as strict_dumps
 from .telemetry import Histogram
 
 #: Version stamp of the profile JSON layout.
@@ -298,7 +302,7 @@ def write_profile(
         payload.update(extra)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(strict_dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, IO, Iterable, List, Optional, Tuple
 
 from ..core.events import Event, EventKind
+from ..jsonutil import dumps as strict_dumps
 from .telemetry import TelemetryRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -105,7 +106,7 @@ class TraceWriter:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self.path.open("w", encoding="utf-8")
-        self._fh.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
+        self._fh.write(strict_dumps(record, sort_keys=True, default=repr) + "\n")
         self._fh.flush()
         self.records_written += 1
 
@@ -510,7 +511,7 @@ def write_manifest(trace_dir: "str | Path", unit_keys: Iterable[str]) -> Path:
     }
     out = trace_dir / MANIFEST_NAME
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    out.write_text(strict_dumps(manifest, indent=2, sort_keys=True) + "\n")
     return out
 
 

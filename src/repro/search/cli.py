@@ -46,6 +46,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--jobs", type=int, default=1, help="evaluation fan-out")
     parser.add_argument(
+        "--block-size", type=int, default=1, metavar="N",
+        help="evaluations per worker dispatch (1 = per-candidate); larger "
+        "blocks amortize engine overhead without changing artifacts",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("search-out"),
         help="output directory (journal, trace, corpus, coverage, summary)",
     )
@@ -131,6 +136,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             "grid_points": args.grid_points,
             "bins": args.bins,
             "jobs": args.jobs,
+            "block_size": args.block_size,
             "timeout_s": args.timeout_s,
         }
     )
@@ -154,6 +160,7 @@ def cmd_falsify(args: argparse.Namespace) -> int:
             "max_counterexamples": args.max_counterexamples,
             "bins": args.bins,
             "jobs": args.jobs,
+            "block_size": args.block_size,
             "timeout_s": args.timeout_s,
         }
     )

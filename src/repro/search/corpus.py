@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..experiments.campaign import CampaignOptions
+from ..jsonutil import dumps as strict_dumps
 from ..sim.scenario import (
     ScenarioSpec,
     build_scenario,
@@ -66,7 +67,7 @@ def write_corpus(entries: Sequence[CorpusEntry], path: "str | Path") -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as fh:
         for entry in entries:
-            fh.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+            fh.write(strict_dumps(entry.to_dict(), sort_keys=True) + "\n")
     return path
 
 

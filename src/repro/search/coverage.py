@@ -18,6 +18,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..jsonutil import dumps as strict_dumps
 from .space import SearchSpace
 
 #: Version stamp of the coverage JSON layout.
@@ -129,7 +130,7 @@ class CoverageMap:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
-            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+            strict_dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
         )
         return path
 

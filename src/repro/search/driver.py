@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exec import CampaignEngine, EnginePolicy, fingerprint
 from ..experiments.campaign import CampaignOptions, normalized_field_values
+from ..jsonutil import dumps as strict_dumps
 from ..obs.profile import ENGINE_PROFILE_NAME, PhaseProfiler, merge_profile_dir, write_profile
 from ..obs.telemetry import TelemetryRegistry
 from ..obs.trace import TRACE_SCHEMA_VERSION, TraceWriter
@@ -48,6 +49,7 @@ from .objective import (
     candidate_key,
     decode_evaluation,
     encode_evaluation,
+    execute_search_block,
     execute_search_unit,
     search_unit,
 )
@@ -86,6 +88,9 @@ class SearchConfig:
             cell).
         bins: coverage-map bins per float dimension.
         jobs: evaluation fan-out width.
+        block_size: evaluations executed per worker dispatch (1 = per-
+            candidate dispatch); larger blocks amortize engine overhead
+            without changing any artifact (see :mod:`repro.exec.blocks`).
         timeout_s: per-evaluation engine deadline.
     """
 
@@ -105,6 +110,7 @@ class SearchConfig:
     max_counterexamples: int = 3
     bins: int = 4
     jobs: int = 1
+    block_size: int = 1
     timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -118,6 +124,8 @@ class SearchConfig:
             raise ValueError(f"batch must be >= 1, got {self.batch}")
         if self.elites < 1:
             raise ValueError(f"elites must be >= 1, got {self.elites}")
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
 
     # ------------------------------------------------------------------
     # plain-dict constructors (shared by the CLI's argparse handlers and
@@ -138,7 +146,8 @@ class SearchConfig:
         """
         data = normalized_field_values(cls, dict(data or {}))
         for field_name in ("seed", "budget", "batch", "elites", "grid_points",
-                           "minimize_rounds", "max_counterexamples", "bins", "jobs"):
+                           "minimize_rounds", "max_counterexamples", "bins",
+                           "jobs", "block_size"):
             if data.get(field_name) is not None:
                 data[field_name] = int(data[field_name])
         if data.get("warmup") is not None:
@@ -308,7 +317,11 @@ class SearchDriver:
         jobs = min(self.config.jobs, len(units))
         engine = CampaignEngine(
             execute_search_unit,
-            EnginePolicy(jobs=jobs, timeout_s=self.config.timeout_s),
+            EnginePolicy(
+                jobs=jobs,
+                timeout_s=self.config.timeout_s,
+                block_size=self.config.block_size,
+            ),
             encode=encode_evaluation,
             decode=decode_evaluation,
             journal=self.out_dir / SEARCH_JOURNAL_NAME,
@@ -316,6 +329,9 @@ class SearchDriver:
             progress=self.progress,
             spec_fingerprint=self.spec_fingerprint(),
             cancel=self.cancel,
+            # Batched STL scoring for whole blocks; bit-identical to the
+            # per-unit scorer, so artifacts do not depend on block_size.
+            block_fn=execute_search_block,
         )
         report = engine.run(units).raise_on_error()
         summary = report.summary
@@ -492,7 +508,7 @@ class SearchDriver:
             write_corpus(entries, self.out_dir / CORPUS_FILE_NAME)
             coverage.save(self.out_dir / COVERAGE_FILE_NAME)
             (self.out_dir / SUMMARY_FILE_NAME).write_text(
-                json.dumps(summary, indent=2, sort_keys=True) + "\n"
+                strict_dumps(summary, indent=2, sort_keys=True) + "\n"
             )
         self._close_trace(summary)
         if self.profile_dir is not None and self.profiler is not None:

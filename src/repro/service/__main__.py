@@ -31,6 +31,7 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
+from ..jsonutil import dumps as strict_dumps
 from .api import serve
 from .client import ServiceClient, ServiceError
 from .jobs import CANCELLED, DONE, FAILED, known_job_kinds
@@ -55,7 +56,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import os
 
     (root / SERVICE_FILE).write_text(
-        json.dumps({"url": server.url, "pid": os.getpid()}, sort_keys=True) + "\n"
+        strict_dumps({"url": server.url, "pid": os.getpid()}, sort_keys=True) + "\n"
     )
     print(f"serving on {server.url} (root: {root})", flush=True)
 
@@ -147,14 +148,14 @@ def cmd_results(args: argparse.Namespace) -> int:
     except ServiceError as exc:
         print(f"results unavailable: {exc.message}", file=sys.stderr)
         return 1
-    print(json.dumps(body, indent=2, sort_keys=True))
+    print(strict_dumps(body, indent=2, sort_keys=True))
     return 0
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
     client = _client(args)
     for event in client.watch(args.job_id):
-        print(json.dumps(event, sort_keys=True), flush=True)
+        print(strict_dumps(event, sort_keys=True), flush=True)
     return _exit_code(client.job(args.job_id)["state"])
 
 

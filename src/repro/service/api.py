@@ -34,6 +34,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..jsonutil import dumps as strict_dumps
 from .jobs import DONE, REPORT_NAME, TERMINAL_STATES, JobSpec, known_job_kinds
 from .scheduler import Scheduler
 from .store import UnknownJob
@@ -71,7 +72,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         body: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        blob = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+        blob = (strict_dumps(body, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))

@@ -15,6 +15,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from ..jsonutil import dumps as strict_dumps
 from .jobs import TERMINAL_STATES
 
 
@@ -45,7 +46,7 @@ class ServiceClient:
         data = None
         headers = {}
         if body is not None:
-            data = json.dumps(body).encode("utf-8")
+            data = strict_dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
             self.url + path, data=data, headers=headers, method=method

@@ -440,9 +440,8 @@ def _replay_entry_for(spec: Dict[str, Any], ctx: JobContext):
 
 def run_replay_job(spec: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
     """Re-run one corpus counterexample; fail the job on robustness drift."""
-    import json
-
     from ..experiments.campaign import CampaignOptions
+    from ..jsonutil import dumps as strict_dumps
     from ..search.corpus import replay_entry
 
     options = CampaignOptions.from_dict(spec.get("options"))
@@ -466,7 +465,7 @@ def run_replay_job(spec: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
         "reason": evaluation.reason,
     }
     (ctx.job_dir / REPORT_NAME).write_text(
-        json.dumps(
+        strict_dumps(
             {"kind": "replay_report", "schema": 1, **result},
             indent=2,
             sort_keys=True,

@@ -31,6 +31,7 @@ import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..jsonutil import dumps as strict_dumps
 from .jobs import JobRecord, JobSpec
 
 JOBS_DIR_NAME = "jobs"
@@ -48,7 +49,7 @@ class UnknownJob(KeyError):
 
 def _atomic_write_json(path: Path, data: Dict) -> None:
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp.write_text(strict_dumps(data, indent=2, sort_keys=True) + "\n")
     os.replace(tmp, path)
 
 
@@ -134,7 +135,7 @@ class JobStore:
     # ------------------------------------------------------------------
     def append_event(self, job_id: str, event: Dict) -> None:
         path = self.job_dir(job_id) / EVENTS_FILE
-        line = json.dumps(event, sort_keys=True) + "\n"
+        line = strict_dumps(event, sort_keys=True) + "\n"
         with self._event_lock(job_id):
             with path.open("a", encoding="utf-8") as fh:
                 fh.write(line)

@@ -1,0 +1,805 @@
+"""Vectorized batch simulation: many worlds stepped in lockstep.
+
+:class:`BatchWorlds` is the structure-of-arrays twin of
+:class:`~repro.sim.world.World` (ROADMAP #1): vehicle longitudinal state
+``(s, v, a)`` and pedestrian progress live in flat numpy float64 arrays
+spanning every world in the batch, and one :meth:`BatchWorlds.step` call
+advances all not-yet-done worlds by the same 100 ms tick.
+
+What is vectorized, and what deliberately is not:
+
+* **Vectorized across the whole batch** — semi-implicit Euler integration
+  (the exact :func:`~repro.sim.kinematics.integrate_longitudinal`
+  semantics as an ``np.where`` program), route-geometry pose lookup
+  (``searchsorted`` + lerp over per-route waypoint arrays), pedestrian
+  advancement, and the collision / min-gap *broad phase* (bounding-circle
+  and 15 m-radius rejects as one array comparison per tick).
+* **Scalar per surviving pair** — the exact OBB SAT / footprint-gap
+  narrow phase, which runs on the handful of pairs the broad phase cannot
+  prune.  Reusing the scalar geometry guarantees the gap *values* match
+  the reference implementation bit for bit.
+* **Scalar per world** — the IDM / right-of-way / spawner decision logic,
+  ported read-for-read against :mod:`repro.sim.traffic` and calling the
+  same scalar float functions (:func:`~repro.sim.traffic.idm_acceleration`
+  etc.) so every acceleration command is the identical IEEE-754 double.
+
+The scalar :class:`~repro.sim.world.World` remains the reference
+implementation: for any spec and any per-tick ego-acceleration sequence,
+a batched world must produce the same per-tick ``(s, v)`` states, the
+same collision events, the same ``min_true_gap`` and the same termination
+facts as the scalar world (pinned by ``tests/sim/test_batch_equiv.py``).
+Every float read out of the arrays goes through ``float(...)`` before
+entering scalar math, so no numpy-scalar operator (whose last-bit
+behaviour may differ from CPython's) touches a decision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geom import OBB, Circle, Vec2, footprint_gap, shapes_overlap
+from ..obs.profile import PhaseProfiler
+from .collision import CollisionEvent
+from .intersection import (
+    INTERSECTION_HALF_SIZE,
+    Approach,
+    Crosswalk,
+    Movement,
+    Route,
+    default_map,
+)
+from .pedestrian import PEDESTRIAN_RADIUS
+from .scenario import ScenarioSpec
+from .traffic import _YIELDS_TO, IDMParameters, SpawnEvent, TrafficController, idm_acceleration
+from .vehicle import VEHICLE_LENGTH, VEHICLE_WIDTH
+from .world import CONTACT_REARM_GAP, TICK_S
+
+#: Profiler phase one lockstep tick is attributed to.
+BATCH_STEP_PHASE = "sim.batch_step"
+
+#: Bounding-circle radius of the standard vehicle footprint.
+_VEHICLE_RADIUS = math.hypot(VEHICLE_LENGTH / 2.0, VEHICLE_WIDTH / 2.0)
+
+
+# ----------------------------------------------------------------------
+# shared route table (numpy mirror of the process-wide IntersectionMap)
+# ----------------------------------------------------------------------
+class _RouteTable:
+    """Array form of the 12 shared routes, built once per process."""
+
+    def __init__(self) -> None:
+        the_map = default_map()
+        self.map = the_map
+        self.routes: List[Route] = []
+        self.index: Dict[Tuple[Approach, Movement], int] = {}
+        for approach in Approach:
+            for movement in Movement:
+                route = the_map.route(approach, movement)
+                self.index[(approach, movement)] = len(self.routes)
+                self.routes.append(route)
+        n = len(self.routes)
+        self.cum: List[np.ndarray] = []
+        self.wx: List[np.ndarray] = []
+        self.wy: List[np.ndarray] = []
+        self.seg_heading: List[np.ndarray] = []
+        self.length = np.empty(n)
+        self.entry_s = np.empty(n)
+        self.exit_s = np.empty(n)
+        for i, route in enumerate(self.routes):
+            self.cum.append(np.array(route._cumulative))
+            self.wx.append(np.array([p.x for p in route.waypoints]))
+            self.wy.append(np.array([p.y for p in route.waypoints]))
+            # Per-segment tangents via math.atan2 — the very values the
+            # scalar heading_at computes for any s inside the segment.
+            self.seg_heading.append(
+                np.array(
+                    [
+                        math.atan2(b.y - a.y, b.x - a.x)
+                        for a, b in zip(route.waypoints, route.waypoints[1:])
+                    ]
+                )
+            )
+            self.length[i] = route.length
+            self.entry_s[i] = route.entry_s
+            self.exit_s[i] = route.exit_s
+        self.conflict = np.zeros((n, n), dtype=bool)
+        for i, a in enumerate(self.routes):
+            for j, b in enumerate(self.routes):
+                self.conflict[i, j] = the_map.conflict(a, b)
+
+
+_TABLE: "Optional[_RouteTable]" = None
+
+
+def _route_table() -> _RouteTable:
+    global _TABLE
+    if _TABLE is None:
+        _TABLE = _RouteTable()
+    return _TABLE
+
+
+# ----------------------------------------------------------------------
+# the batch
+# ----------------------------------------------------------------------
+class BatchWorlds:
+    """``len(specs)`` deterministic worlds advanced in lockstep.
+
+    The caller owns the ego policy, exactly as with the scalar world: set
+    this tick's ego accelerations via :meth:`apply_ego_accelerations`,
+    then call :meth:`step`.  Worlds whose :meth:`world_done` is true are
+    frozen — their state stops changing, matching a scalar driver loop
+    that stops stepping a finished world.
+    """
+
+    def __init__(self, specs: Sequence[ScenarioSpec]) -> None:
+        self.specs = list(specs)
+        self.size = len(self.specs)
+        if self.size == 0:
+            raise ValueError("a batch needs at least one scenario spec")
+        self.dt = TICK_S
+        self._table = _route_table()
+        size = self.size
+
+        self.time = np.zeros(size)
+        self.tick_count = np.zeros(size, dtype=np.int64)
+
+        # Vehicle SoA — flat across the batch, grown on demand.
+        capacity = max(8 * size, 8)
+        self.v_world = np.zeros(capacity, dtype=np.int32)
+        self.v_route = np.zeros(capacity, dtype=np.int16)
+        self.v_s = np.zeros(capacity)
+        self.v_v = np.zeros(capacity)
+        self.v_a = np.zeros(capacity)
+        self.v_prev_a = np.zeros(capacity)
+        self.v_id = np.zeros(capacity, dtype=np.int32)
+        self.v_ego = np.zeros(capacity, dtype=bool)
+        self.v_tail = np.zeros(capacity, dtype=bool)
+        self._n = 0
+
+        #: Per-world vehicle slots in insertion order (scalar list order).
+        self._slots: List[List[int]] = [[] for _ in range(size)]
+        self._ego_slot = np.zeros(size, dtype=np.int64)
+        self._next_vehicle_id = [2] * size
+        self._pending: List[List[SpawnEvent]] = []
+
+        # Pedestrians (at most one per world, per ScenarioSpec).
+        self.p_present = np.zeros(size, dtype=bool)
+        self.p_s = np.zeros(size)
+        self.p_speed = np.zeros(size)
+        self.p_start = np.zeros(size)
+        self.p_length = np.zeros(size)
+        self.p_id = np.full(size, 1001, dtype=np.int32)
+        self._crosswalks: List[Optional[Crosswalk]] = [None] * size
+
+        # Controller state, keyed like the scalar dicts but per world.
+        self._params = IDMParameters()
+        self._wait_since: Dict[Tuple[int, int], Optional[float]] = {}
+        self._reaction: Dict[Tuple[int, int], List[float]] = {}
+
+        # Run-state facts mirroring World.
+        self.collisions: List[List[CollisionEvent]] = [[] for _ in range(size)]
+        self._contact_ids: List[Set[int]] = [set() for _ in range(size)]
+        self.ego_clearance_time: List[Optional[float]] = [None] * size
+        self.min_true_gap = np.full(size, math.inf)
+
+        for w, spec in enumerate(self.specs):
+            ego_route = self._table.index[(spec.ego_approach, spec.ego_movement)]
+            ego = self._add_vehicle(
+                w, ego_route, spec.ego_start_s, spec.ego_start_speed,
+                vehicle_id=1, is_ego=True, tailgater=False,
+            )
+            self._ego_slot[w] = ego
+            self._pending.append(sorted(spec.spawn_schedule, key=lambda e: e.time))
+            if spec.pedestrian is not None:
+                crosswalk = self._table.map.south_crosswalk
+                if spec.pedestrian.from_east:
+                    crosswalk = Crosswalk(crosswalk.end, crosswalk.start)
+                self._crosswalks[w] = crosswalk
+                self.p_present[w] = True
+                self.p_speed[w] = spec.pedestrian.speed
+                self.p_start[w] = spec.pedestrian.start_time
+                self.p_length[w] = crosswalk.length
+
+    # ------------------------------------------------------------------
+    # slot management
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        capacity = len(self.v_s) * 2
+        for name in ("v_world", "v_route", "v_s", "v_v", "v_a", "v_prev_a",
+                     "v_id", "v_ego", "v_tail"):
+            old = getattr(self, name)
+            new = np.zeros(capacity, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+
+    def _add_vehicle(
+        self,
+        world: int,
+        route: int,
+        s: float,
+        speed: float,
+        *,
+        vehicle_id: int,
+        is_ego: bool,
+        tailgater: bool,
+    ) -> int:
+        if self._n == len(self.v_s):
+            self._grow()
+        sl = self._n
+        self._n += 1
+        self.v_world[sl] = world
+        self.v_route[sl] = route
+        self.v_s[sl] = s
+        self.v_v[sl] = speed
+        self.v_a[sl] = 0.0
+        self.v_prev_a[sl] = 0.0
+        self.v_id[sl] = vehicle_id
+        self.v_ego[sl] = is_ego
+        self.v_tail[sl] = tailgater
+        self._slots[world].append(sl)
+        return sl
+
+    def _finished(self, sl: int) -> bool:
+        return float(self.v_s[sl]) >= float(self._table.length[self.v_route[sl]])
+
+    # ------------------------------------------------------------------
+    # run-state queries (scalar World twins)
+    # ------------------------------------------------------------------
+    def had_collision(self, w: int) -> bool:
+        return bool(self.collisions[w])
+
+    def timed_out(self, w: int) -> bool:
+        return float(self.time[w]) >= self.specs[w].timeout_s
+
+    def ego_finished(self, w: int) -> bool:
+        return self._finished(int(self._ego_slot[w]))
+
+    def world_done(self, w: int) -> bool:
+        clearance = self.ego_clearance_time[w]
+        return (
+            self.had_collision(w)
+            or self.timed_out(w)
+            or self.ego_finished(w)
+            or (clearance is not None and float(self.time[w]) >= clearance + 2.0)
+        )
+
+    def gridlocked(self, w: int) -> bool:
+        return (
+            self.timed_out(w)
+            and self.ego_clearance_time[w] is None
+            and not self.had_collision(w)
+        )
+
+    @property
+    def all_done(self) -> bool:
+        return all(self.world_done(w) for w in range(self.size))
+
+    def ego_kinematics(self) -> "Tuple[np.ndarray, np.ndarray]":
+        """Per-world ego ``(s, speed)`` arrays (copies)."""
+        ego = self._ego_slot
+        return self.v_s[ego].copy(), self.v_v[ego].copy()
+
+    def vehicle_states(self, w: int) -> "List[Tuple[int, float, float, float]]":
+        """``(vehicle_id, s, speed, acceleration)`` per vehicle, list order."""
+        return [
+            (int(self.v_id[sl]), float(self.v_s[sl]), float(self.v_v[sl]),
+             float(self.v_a[sl]))
+            for sl in self._slots[w]
+        ]
+
+    def pedestrian_progress(self, w: int) -> Optional[float]:
+        return float(self.p_s[w]) if self.p_present[w] else None
+
+    # ------------------------------------------------------------------
+    # ego policy interface
+    # ------------------------------------------------------------------
+    def apply_ego_accelerations(self, accels: Sequence[float]) -> None:
+        """Set this tick's ego acceleration command per world.
+
+        Mirrors :meth:`Vehicle.apply_acceleration` (shifts the previous
+        command into ``prev_a`` for jerk accounting).  Done worlds are
+        skipped — their state is frozen.
+        """
+        if len(accels) != self.size:
+            raise ValueError(
+                f"expected {self.size} ego accelerations, got {len(accels)}"
+            )
+        for w in range(self.size):
+            if self.world_done(w):
+                continue
+            sl = int(self._ego_slot[w])
+            self.v_prev_a[sl] = self.v_a[sl]
+            self.v_a[sl] = float(accels[w])
+
+    # ------------------------------------------------------------------
+    # vectorized pose lookup
+    # ------------------------------------------------------------------
+    def _poses(self, slots: np.ndarray) -> "Tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """World ``(x, y, heading)`` for the given vehicle slots.
+
+        Bit-identical to per-vehicle ``Route.point_at`` / ``heading_at``:
+        same clamp, same ``bisect_right - 1`` segment choice (via
+        ``searchsorted``), same lerp expression, and precomputed
+        ``atan2`` segment tangents.
+        """
+        routes = self.v_route[slots]
+        s = self.v_s[slots]
+        x = np.empty(len(slots))
+        y = np.empty(len(slots))
+        h = np.empty(len(slots))
+        for r in np.unique(routes):
+            m = routes == r
+            cum = self._table.cum[r]
+            wx = self._table.wx[r]
+            wy = self._table.wy[r]
+            k = len(cum)
+            sc = np.maximum(0.0, np.minimum(s[m], cum[-1]))
+            idx = np.searchsorted(cum, sc, side="right") - 1
+            at_end = idx >= k - 1
+            idx0 = np.minimum(idx, k - 2)
+            seg_start = cum[idx0]
+            seg_len = cum[idx0 + 1] - seg_start
+            safe_len = np.where(seg_len == 0.0, 1.0, seg_len)
+            t = np.where(seg_len == 0.0, 0.0, (sc - seg_start) / safe_len)
+            px = wx[idx0] + (wx[idx0 + 1] - wx[idx0]) * t
+            py = wy[idx0] + (wy[idx0 + 1] - wy[idx0]) * t
+            x[m] = np.where(at_end, wx[-1], px)
+            y[m] = np.where(at_end, wy[-1], py)
+            h[m] = self._table.seg_heading[r][idx0]
+        return x, y, h
+
+    def _active_world_slots(self, worlds: Sequence[int]) -> np.ndarray:
+        slots: List[int] = []
+        for w in worlds:
+            slots.extend(self._slots[w])
+        return np.asarray(slots, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # lockstep tick
+    # ------------------------------------------------------------------
+    def step(self, profiler: "Optional[PhaseProfiler]" = None) -> None:
+        """Advance every not-yet-done world by one 100 ms tick."""
+        if profiler is None:
+            self._step()
+        else:
+            with profiler.phase(BATCH_STEP_PHASE):
+                self._step()
+
+    def _step(self) -> None:
+        worlds = [w for w in range(self.size) if not self.world_done(w)]
+        if not worlds:
+            return
+
+        for w in worlds:
+            self._spawn_due(w)
+
+        # One pose pass for the control phase (pre-integration state).
+        slots = self._active_world_slots(worlds)
+        x, y, _ = self._poses(slots)
+        pos = {int(sl): (float(px), float(py)) for sl, px, py in zip(slots, x, y)}
+        inbox = {
+            int(sl): bool(
+                abs(px) <= INTERSECTION_HALF_SIZE and abs(py) <= INTERSECTION_HALF_SIZE
+            )
+            for sl, (px, py) in pos.items()
+        }
+        for w in worlds:
+            self._control(w, pos, inbox)
+
+        self._integrate(slots)
+        self._step_pedestrians(worlds)
+
+        widx = np.asarray(worlds, dtype=np.int64)
+        self.time[widx] += self.dt
+        self.tick_count[widx] += 1
+
+        # Post-integration pose pass feeds collision + gap checks.
+        x, y, h = self._poses(slots)
+        self._collisions_and_gaps(worlds, slots, x, y, h)
+
+        for w in worlds:
+            sl = int(self._ego_slot[w])
+            cleared_s = (
+                float(self._table.exit_s[self.v_route[sl]]) + VEHICLE_LENGTH / 2.0
+            )
+            if self.ego_clearance_time[w] is None and float(self.v_s[sl]) >= cleared_s:
+                self.ego_clearance_time[w] = float(self.time[w])
+
+    # ------------------------------------------------------------------
+    # spawning (TrafficSpawner port)
+    # ------------------------------------------------------------------
+    def _spawn_due(self, w: int) -> None:
+        now = float(self.time[w])
+        remaining: List[SpawnEvent] = []
+        for event in self._pending[w]:
+            if event.time > now:
+                remaining.append(event)
+                continue
+            route = self._table.index[(event.approach, event.movement)]
+            start_s = max(0.0, event.advance - event.setback)
+            # Ids are allocated before the slot check (matching the scalar
+            # spawner): a blocked spawn retries next tick under a NEW id,
+            # so id sequences can skip — and must skip identically here.
+            vehicle_id = self._next_vehicle_id[w]
+            self._next_vehicle_id[w] += 1
+            if self._slot_clear(w, route, start_s):
+                self._add_vehicle(
+                    w, route, start_s, event.speed,
+                    vehicle_id=vehicle_id, is_ego=False, tailgater=event.tailgater,
+                )
+            else:
+                remaining.append(event)
+        self._pending[w] = remaining
+
+    def _slot_clear(self, w: int, route: int, start_s: float) -> bool:
+        for sl in self._slots[w]:
+            if self._finished(sl):
+                continue
+            if int(self.v_route[sl]) != route:
+                continue
+            if abs(float(self.v_s[sl]) - start_s) <= VEHICLE_LENGTH * 2.0:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # background control (TrafficController port; same scalar float math)
+    # ------------------------------------------------------------------
+    def _control(
+        self,
+        w: int,
+        pos: Dict[int, Tuple[float, float]],
+        inbox: Dict[int, bool],
+    ) -> None:
+        now = float(self.time[w])
+        for sl in self._slots[w]:
+            if self.v_ego[sl] or self._finished(sl):
+                continue
+            accel = self._acceleration_for(w, sl, pos, inbox, now)
+            delayed = self._delayed(w, sl, accel)
+            self.v_prev_a[sl] = self.v_a[sl]
+            self.v_a[sl] = delayed
+
+    def _delayed(self, w: int, sl: int, accel: float) -> float:
+        delay = (
+            TrafficController.TAILGATER_REACTION_TICKS
+            if self.v_tail[sl]
+            else TrafficController.REACTION_TICKS
+        )
+        if delay <= 0:
+            return accel
+        buffer = self._reaction.setdefault((w, int(self.v_id[sl])), [])
+        buffer.append(accel)
+        if len(buffer) <= delay:
+            return buffer[0]
+        return buffer.pop(0)
+
+    def _acceleration_for(
+        self,
+        w: int,
+        sl: int,
+        pos: Dict[int, Tuple[float, float]],
+        inbox: Dict[int, bool],
+        now: float,
+    ) -> float:
+        accel = self._car_following(w, sl)
+        key = (w, int(self.v_id[sl]))
+        if self._must_yield(w, sl, pos, inbox, now):
+            accel = min(accel, self._stop_at_entry(sl))
+            if float(self.v_v[sl]) < 0.1:
+                if self._wait_since.get(key) is None:
+                    self._wait_since[key] = now
+        else:
+            self._wait_since.pop(key, None)
+        return accel
+
+    def _car_following(self, w: int, sl: int) -> float:
+        params = (
+            TrafficController.TAILGATER_PARAMS if self.v_tail[sl] else self._params
+        )
+        own_route = int(self.v_route[sl])
+        own_s = float(self.v_s[sl])
+        speed = float(self.v_v[sl])
+        leader: Optional[int] = None
+        leader_s = 0.0
+        for other in self._slots[w]:
+            if other == sl or self._finished(other):
+                continue
+            if int(self.v_route[other]) != own_route:
+                continue
+            other_s = float(self.v_s[other])
+            if other_s <= own_s:
+                continue
+            if leader is None or other_s < leader_s:
+                leader = other
+                leader_s = other_s
+        if leader is None:
+            return idm_acceleration(speed, None, 0.0, params)
+        gap = leader_s - own_s - (VEHICLE_LENGTH + VEHICLE_LENGTH) / 2.0
+        return idm_acceleration(
+            speed, gap, speed - float(self.v_v[leader]), params
+        )
+
+    def _time_to_entry(self, sl: int) -> float:
+        distance = float(self._table.entry_s[self.v_route[sl]]) - float(self.v_s[sl])
+        if distance <= 0.0:
+            return 0.0
+        speed = max(float(self.v_v[sl]), 0.5)
+        return distance / speed
+
+    def _has_priority(
+        self, other_route: int, own_route: int, other_tte: float, own_tte: float
+    ) -> bool:
+        if other_tte + 0.8 < own_tte:
+            return True
+        if own_tte + 0.8 < other_tte:
+            return False
+        other_r = self._table.routes[other_route]
+        own_r = self._table.routes[own_route]
+        if other_r.movement is Movement.STRAIGHT and own_r.movement is Movement.LEFT:
+            return True
+        if own_r.movement is Movement.STRAIGHT and other_r.movement is Movement.LEFT:
+            return False
+        return _YIELDS_TO[own_r.approach] == other_r.approach
+
+    def _must_yield(
+        self,
+        w: int,
+        sl: int,
+        pos: Dict[int, Tuple[float, float]],
+        inbox: Dict[int, bool],
+        now: float,
+    ) -> bool:
+        own_route = int(self.v_route[sl])
+        if inbox[sl] or float(self.v_s[sl]) >= float(self._table.entry_s[own_route]):
+            return False
+        own_tte = self._time_to_entry(sl)
+        if own_tte > TrafficController.CONFLICT_WINDOW_S:
+            return False
+
+        for other in self._slots[w]:
+            if other == sl or self._finished(other):
+                continue
+            if not self._table.conflict[own_route, self.v_route[other]]:
+                continue
+            if inbox[other]:
+                return True
+            other_tte = self._time_to_entry(other)
+            if other_tte > TrafficController.CONFLICT_WINDOW_S:
+                continue
+            if self._has_priority(
+                int(self.v_route[other]), own_route, other_tte, own_tte
+            ):
+                stopped_since = self._wait_since.get((w, int(self.v_id[sl])))
+                waited = (
+                    stopped_since is not None
+                    and now - stopped_since >= TrafficController.DEADLOCK_PATIENCE_S
+                )
+                if not waited:
+                    return True
+
+        if self.p_present[w]:
+            finished = float(self.p_s[w]) >= float(self.p_length[w])
+            if not finished and now >= float(self.p_start[w]):
+                if self._pedestrian_conflicts(w, sl):
+                    return True
+        return False
+
+    def _pedestrian_conflicts(self, w: int, sl: int) -> bool:
+        crosswalk = self._crosswalks[w]
+        assert crosswalk is not None
+        ped_pos = crosswalk.point_at(float(self.p_s[w]))
+        route = self._table.routes[self.v_route[sl]]
+        own_s = float(self.v_s[sl])
+        lookahead = [route.point_at(own_s + d) for d in (2.0, 6.0, 10.0, 14.0)]
+        return any(p.distance_to(ped_pos) < 3.0 for p in lookahead)
+
+    def _stop_at_entry(self, sl: int) -> float:
+        stop_line = float(self._table.entry_s[self.v_route[sl]]) - 1.5
+        distance = max(stop_line - float(self.v_s[sl]), 0.01)
+        speed = float(self.v_v[sl])
+        if speed <= 0.0:
+            return 0.0
+        required = speed * speed / (2.0 * distance)
+        return -min(required, 3.0 * self._params.comfortable_deceleration)
+
+    # ------------------------------------------------------------------
+    # vectorized dynamics
+    # ------------------------------------------------------------------
+    def _integrate(self, slots: np.ndarray) -> None:
+        """integrate_longitudinal over every unfinished vehicle at once."""
+        lengths = self._table.length[self.v_route[slots]]
+        m = slots[self.v_s[slots] < lengths]
+        if len(m) == 0:
+            return
+        dt = self.dt
+        s = self.v_s[m]
+        v = self.v_v[m]
+        a = self.v_a[m]
+        new_v = v + a * dt
+        neg = new_v < 0.0
+        braking = neg & (a < 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            time_to_stop = v / -a
+            s_stopped = s + v * time_to_stop / 2.0
+        self.v_s[m] = np.where(
+            neg,
+            np.where(braking, s_stopped, s),
+            s + (v + new_v) / 2.0 * dt,
+        )
+        self.v_v[m] = np.where(neg, 0.0, new_v)
+
+    def _step_pedestrians(self, worlds: Sequence[int]) -> None:
+        widx = np.asarray(worlds, dtype=np.int64)
+        now = self.time[widx]
+        walking = (
+            self.p_present[widx]
+            & (now >= self.p_start[widx])
+            & (self.p_s[widx] < self.p_length[widx])
+        )
+        moving = widx[walking]
+        if len(moving) == 0:
+            return
+        self.p_s[moving] = np.minimum(
+            self.p_s[moving] + self.p_speed[moving] * self.dt,
+            self.p_length[moving],
+        )
+
+    # ------------------------------------------------------------------
+    # batched collision + min-gap checks
+    # ------------------------------------------------------------------
+    def _collisions_and_gaps(
+        self,
+        worlds: Sequence[int],
+        slots: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        h: np.ndarray,
+    ) -> None:
+        pose = {
+            int(sl): (float(px), float(py), float(ph))
+            for sl, px, py, ph in zip(slots, x, y, h)
+        }
+        # Broad phase across the whole batch: one distance computation
+        # from every vehicle to its own world's ego.
+        ego_pos = {int(sl): pose[int(self._ego_slot[self.v_world[sl]])] for sl in slots}
+        dx = x - np.array([ego_pos[int(sl)][0] for sl in slots])
+        dy = y - np.array([ego_pos[int(sl)][1] for sl in slots])
+        dist = np.hypot(dx, dy)
+        lengths = self._table.length[self.v_route[slots]]
+        candidate = (
+            (~self.v_ego[slots])
+            & (self.v_s[slots] < lengths)
+        )
+        overlap_mask = candidate & (dist <= 2.0 * _VEHICLE_RADIUS)
+        gap_mask = candidate & (dist < 15.0)
+
+        per_world_overlap: Dict[int, List[int]] = {w: [] for w in worlds}
+        per_world_gap: Dict[int, List[int]] = {w: [] for w in worlds}
+        for i, sl in enumerate(slots):
+            if overlap_mask[i]:
+                per_world_overlap[int(self.v_world[sl])].append(int(sl))
+            if gap_mask[i]:
+                per_world_gap[int(self.v_world[sl])].append(int(sl))
+
+        for w in worlds:
+            ego_sl = int(self._ego_slot[w])
+            epx, epy, eph = pose[ego_sl]
+            ego_box = OBB(
+                center=Vec2(epx, epy),
+                heading=eph,
+                half_length=VEHICLE_LENGTH / 2.0,
+                half_width=VEHICLE_WIDTH / 2.0,
+            )
+            ego_speed = float(self.v_v[ego_sl])
+            now = float(self.time[w])
+
+            # Exact narrow phase, in scalar list order (vehicles first).
+            colliding_ids: Set[int] = set()
+            events: List[CollisionEvent] = []
+            for sl in per_world_overlap[w]:
+                px, py, ph = pose[sl]
+                box = OBB(
+                    center=Vec2(px, py),
+                    heading=ph,
+                    half_length=VEHICLE_LENGTH / 2.0,
+                    half_width=VEHICLE_WIDTH / 2.0,
+                )
+                if shapes_overlap(ego_box, box):
+                    events.append(
+                        CollisionEvent(
+                            time=now,
+                            ego_id=int(self.v_id[ego_sl]),
+                            other_id=int(self.v_id[sl]),
+                            other_kind="vehicle",
+                            ego_speed=ego_speed,
+                        )
+                    )
+            ped_footprint = self._pedestrian_footprint(w)
+            if ped_footprint is not None and shapes_overlap(ego_box, ped_footprint):
+                events.append(
+                    CollisionEvent(
+                        time=now,
+                        ego_id=int(self.v_id[ego_sl]),
+                        other_id=int(self.p_id[w]),
+                        other_kind="pedestrian",
+                        ego_speed=ego_speed,
+                    )
+                )
+
+            contacts = self._contact_ids[w]
+            for event in events:
+                colliding_ids.add(event.other_id)
+                if event.other_id in contacts:
+                    continue
+                self.collisions[w].append(event)
+                contacts.add(event.other_id)
+            if contacts - colliding_ids:
+                self._rearm_separated_contacts(w, ego_box, colliding_ids, pose)
+
+            best = float(self.min_true_gap[w])
+            for sl in per_world_gap[w]:
+                px, py, ph = pose[sl]
+                box = OBB(
+                    center=Vec2(px, py),
+                    heading=ph,
+                    half_length=VEHICLE_LENGTH / 2.0,
+                    half_width=VEHICLE_WIDTH / 2.0,
+                )
+                best = min(best, footprint_gap(ego_box, box))
+            if ped_footprint is not None:
+                ped_dist = math.hypot(
+                    ped_footprint.center.x - epx, ped_footprint.center.y - epy
+                )
+                if ped_dist < 15.0:
+                    best = min(best, footprint_gap(ego_box, ped_footprint))
+            self.min_true_gap[w] = best
+
+    def _pedestrian_footprint(self, w: int) -> Optional[Circle]:
+        if not self.p_present[w]:
+            return None
+        if float(self.p_s[w]) >= float(self.p_length[w]):
+            return None
+        crosswalk = self._crosswalks[w]
+        assert crosswalk is not None
+        return Circle(
+            center=crosswalk.point_at(float(self.p_s[w])), radius=PEDESTRIAN_RADIUS
+        )
+
+    def _rearm_separated_contacts(
+        self,
+        w: int,
+        ego_box: OBB,
+        colliding_ids: Set[int],
+        pose: Dict[int, Tuple[float, float, float]],
+    ) -> None:
+        contacts = self._contact_ids[w]
+        for other_id in list(contacts):
+            if other_id in colliding_ids:
+                continue
+            footprint = self._entity_footprint(w, other_id, pose)
+            if footprint is None:
+                contacts.discard(other_id)
+                continue
+            if footprint_gap(ego_box, footprint) > CONTACT_REARM_GAP:
+                contacts.discard(other_id)
+
+    def _entity_footprint(
+        self, w: int, other_id: int, pose: Dict[int, Tuple[float, float, float]]
+    ):
+        for sl in self._slots[w]:
+            if int(self.v_id[sl]) == other_id:
+                if self._finished(sl):
+                    return None
+                px, py, ph = pose[sl]
+                return OBB(
+                    center=Vec2(px, py),
+                    heading=ph,
+                    half_length=VEHICLE_LENGTH / 2.0,
+                    half_width=VEHICLE_WIDTH / 2.0,
+                )
+        if self.p_present[w] and int(self.p_id[w]) == other_id:
+            return self._pedestrian_footprint(w)
+        return None

@@ -16,6 +16,7 @@ from typing import Optional
 
 from ..geom import OBB, KinematicState, Vec2
 from .intersection import Route, in_intersection_box
+from .kinematics import integrate_longitudinal
 
 logger = logging.getLogger(__name__)
 
@@ -51,6 +52,12 @@ class Vehicle:
     tailgater: bool = False
     #: Acceleration applied on the previous step, for jerk computation.
     previous_acceleration: float = 0.0
+    #: Memoized (s, position, heading) — the route geometry is queried many
+    #: times per tick at the same arc length (perception, footprints,
+    #: sensors), and ``s`` only changes in :meth:`step`.
+    _pose_cache: "Optional[tuple]" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.speed < 0.0:
@@ -59,15 +66,23 @@ class Vehicle:
     # ------------------------------------------------------------------
     # derived geometry
     # ------------------------------------------------------------------
+    def _pose(self) -> "tuple":
+        cached = self._pose_cache
+        if cached is not None and cached[0] == self.s:
+            return cached
+        cached = (self.s, self.route.point_at(self.s), self.route.heading_at(self.s))
+        self._pose_cache = cached
+        return cached
+
     @property
     def position(self) -> Vec2:
         """World position of the vehicle centre."""
-        return self.route.point_at(self.s)
+        return self._pose()[1]
 
     @property
     def heading(self) -> float:
         """World heading (radians) from the route tangent."""
-        return self.route.heading_at(self.s)
+        return self._pose()[2]
 
     @property
     def velocity(self) -> Vec2:
@@ -126,16 +141,11 @@ class Vehicle:
         if dt <= 0.0:
             raise ValueError(f"dt must be positive, got {dt}")
         was_finished = self.finished
-        new_speed = self.speed + self.acceleration * dt
-        if new_speed < 0.0:
-            # Come to rest part-way through the step.
-            if self.acceleration < 0.0:
-                time_to_stop = self.speed / -self.acceleration
-                self.s += self.speed * time_to_stop / 2.0
-            self.speed = 0.0
-            return
-        self.s += (self.speed + new_speed) / 2.0 * dt
-        self.speed = new_speed
+        # Come-to-rest still advances s by the stopping distance, so the
+        # finished transition below must run on both branches.
+        self.s, self.speed = integrate_longitudinal(
+            self.s, self.speed, self.acceleration, dt
+        )
         if self.finished and not was_finished:
             logger.debug(
                 "vehicle %d%s drove off the end of its route",

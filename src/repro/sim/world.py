@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import logging
 import random
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from ..geom import footprint_gap
 from .collision import CollisionEvent, detect_ego_collisions
-from .intersection import IntersectionMap
+from .intersection import default_map
 from .pedestrian import Pedestrian
 from .scenario import ScenarioSpec
 from .traffic import TrafficController, TrafficSpawner
@@ -25,6 +25,10 @@ from .vehicle import Vehicle
 
 #: Simulation tick, seconds (the paper aligns processing to 100 ms).
 TICK_S = 0.1
+
+#: Footprint gap (m) beyond which a previously logged contact re-arms, so a
+#: later, genuinely separate collision with the same entity is logged again.
+CONTACT_REARM_GAP = 0.5
 
 logger = logging.getLogger(__name__)
 
@@ -34,7 +38,7 @@ class World:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
-        self.intersection = IntersectionMap()
+        self.intersection = default_map()
         self.time = 0.0
         self.tick_count = 0
         self.dt = TICK_S
@@ -75,6 +79,9 @@ class World:
         )
         self._traffic = TrafficController(self.intersection)
         self.collisions: List[CollisionEvent] = []
+        #: Entity ids currently in (suppressed) contact with the ego.  A
+        #: contact is logged once on onset and re-armed after separation.
+        self._contact_ids: Set[int] = set()
         #: Simulation time at which the ego cleared the conflict zone.
         self.ego_clearance_time: Optional[float] = None
         #: Smallest ground-truth footprint gap between the ego and any other
@@ -107,14 +114,19 @@ class World:
         self.time += self.dt
         self.tick_count += 1
 
+        ego_box = self.ego.footprint()
+        colliding_ids: Set[int] = set()
         for event in detect_ego_collisions(
             self.ego, self.vehicles, self.pedestrians, self.time
         ):
-            if self._already_logged(event):
+            colliding_ids.add(event.other_id)
+            if event.other_id in self._contact_ids:
                 continue
             logger.debug("%s: %s", self.spec.name, event)
             self.collisions.append(event)
-        ego_box = self.ego.footprint()
+            self._contact_ids.add(event.other_id)
+        if self._contact_ids - colliding_ids:
+            self._rearm_separated_contacts(ego_box, colliding_ids)
         for vehicle in self.vehicles:
             if vehicle.is_ego or vehicle.finished:
                 continue
@@ -134,9 +146,33 @@ class World:
                 self.time,
             )
 
-    def _already_logged(self, event: CollisionEvent) -> bool:
-        """Suppress repeated contact reports against the same entity."""
-        return any(logged.other_id == event.other_id for logged in self.collisions)
+    def _rearm_separated_contacts(self, ego_box, colliding_ids: Set[int]) -> None:
+        """Drop contact suppression once a pair has genuinely separated.
+
+        An entity stays suppressed while its footprint keeps touching (or
+        hovers within :data:`CONTACT_REARM_GAP` of) the ego; once it moves
+        clear — or leaves the world — a later impact with the same entity is
+        a new collision and gets logged again.
+        """
+        for other_id in list(self._contact_ids):
+            if other_id in colliding_ids:
+                continue
+            footprint = self._entity_footprint(other_id)
+            if footprint is None:
+                self._contact_ids.discard(other_id)
+                continue
+            if footprint_gap(ego_box, footprint) > CONTACT_REARM_GAP:
+                self._contact_ids.discard(other_id)
+
+    def _entity_footprint(self, other_id: int):
+        """Footprint of a live (unfinished) entity by id, or ``None``."""
+        for vehicle in self.vehicles:
+            if vehicle.vehicle_id == other_id:
+                return None if vehicle.finished else vehicle.footprint()
+        for pedestrian in self.pedestrians:
+            if pedestrian.pedestrian_id == other_id:
+                return None if pedestrian.finished else pedestrian.footprint()
+        return None
 
     # ------------------------------------------------------------------
     # run-state queries

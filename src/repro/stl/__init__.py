@@ -22,7 +22,13 @@ from .ast import (
 )
 from .online import OnlineMonitor, Verdict
 from .parser import STLSyntaxError, parse
-from .robustness import evaluate, robustness, satisfied
+from .robustness import (
+    ROBUSTNESS_CLAMP,
+    evaluate,
+    finite_robustness,
+    robustness,
+    satisfied,
+)
 from .signals import Trace
 
 __all__ = [
@@ -43,6 +49,8 @@ __all__ = [
     "evaluate",
     "robustness",
     "satisfied",
+    "finite_robustness",
+    "ROBUSTNESS_CLAMP",
     "OnlineMonitor",
     "Verdict",
 ]

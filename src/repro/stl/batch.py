@@ -1,0 +1,286 @@
+"""Batched STL robustness over stacks of uniformly sampled traces.
+
+The scalar evaluator (:mod:`repro.stl.robustness`) computes one trace at a
+time; assurance campaigns check the same formula against hundreds of runs.
+:func:`evaluate_batch` evaluates a formula over a :class:`BatchTrace` — every
+signal a ``(B, T)`` float64 array — producing the ``(B, T)`` robustness
+matrix in a handful of numpy passes instead of ``B`` Python traversals.
+
+The scalar path stays the reference.  Per semantics node the batch port uses
+only order-preserving elementwise operations (``+``, ``*``, ``minimum``,
+``maximum``) on float64, so for any trace the batched robustness is
+*bit-identical* to :func:`repro.stl.robustness.evaluate` on that trace
+(pinned by ``tests/stl/test_batch_robustness.py``):
+
+* atoms accumulate ``constant + coeff * value`` in the same coefficient
+  order as :meth:`repro.stl.ast.Expr.evaluate`;
+* ``And``/``Or``/``Implies`` map to ``np.minimum``/``np.maximum``, which
+  agree with Python's ``min``/``max`` on every (non-NaN) float pair;
+* bounded ``G``/``F`` windows are one sliding-window reduction over values
+  padded at the end with the operator's neutral (``+inf`` for G, ``-inf``
+  for F) — the padding reproduces both the clip-to-trace rule and the
+  empty-window conventions of the scalar ``_window_fold``;
+* unbounded windows are a reversed ``accumulate`` (suffix fold) shifted by
+  the interval's lower bound;
+* ``Until`` keeps the scalar recurrences, vectorized across the batch axis.
+
+Traces of unequal length cannot share a stack (the clip rules make
+robustness length-dependent); :func:`robustness_many` groups arbitrary
+traces by length internally and hides the ragged case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .ast import (
+    And,
+    Atom,
+    Eventually,
+    Formula,
+    Globally,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    Until,
+)
+from .signals import Trace
+
+
+@dataclass
+class BatchTrace:
+    """``B`` equal-length, same-period traces stacked on a batch axis.
+
+    Attributes:
+        period: shared sampling period in seconds (must be positive).
+        signals: variable name -> ``(B, T)`` float64 array; every signal
+            must have the same shape.
+    """
+
+    period: float
+    signals: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ValueError(f"sampling period must be positive, got {self.period}")
+        converted: Dict[str, np.ndarray] = {}
+        shapes = set()
+        for name, samples in self.signals.items():
+            array = np.asarray(samples, dtype=np.float64)
+            if array.ndim != 2:
+                raise ValueError(
+                    f"signal {name!r} must be 2-D (batch, time), got shape "
+                    f"{array.shape}"
+                )
+            converted[name] = array
+            shapes.add(array.shape)
+        if len(shapes) > 1:
+            raise ValueError(f"signals have inconsistent shapes: {sorted(shapes)}")
+        self.signals = converted
+
+    @staticmethod
+    def from_traces(traces: Sequence[Trace]) -> "BatchTrace":
+        """Stack equal-length, same-period, same-variable traces.
+
+        Raises:
+            ValueError: empty sequence, or traces that differ in period,
+                length or variable set (use :func:`robustness_many` for
+                ragged collections).
+        """
+        if not traces:
+            raise ValueError("cannot stack an empty sequence of traces")
+        period = traces[0].period
+        names = set(traces[0].variables)
+        length = len(traces[0])
+        for i, trace in enumerate(traces):
+            if trace.period != period:
+                raise ValueError(
+                    f"trace {i} has period {trace.period}, expected {period}"
+                )
+            if set(trace.variables) != names:
+                raise ValueError(
+                    f"trace {i} has variables {sorted(trace.variables)}, "
+                    f"expected {sorted(names)}"
+                )
+            if len(trace) != length:
+                raise ValueError(
+                    f"trace {i} has length {len(trace)}, expected {length} "
+                    "(stacks must be rectangular; see robustness_many)"
+                )
+        return BatchTrace(
+            period=period,
+            signals={
+                name: np.array([trace.signals[name] for trace in traces])
+                for name in names
+            },
+        )
+
+    @property
+    def batch_size(self) -> int:
+        if not self.signals:
+            return 0
+        return next(iter(self.signals.values())).shape[0]
+
+    def __len__(self) -> int:
+        """Number of time steps (the scalar ``len(trace)`` analog)."""
+        if not self.signals:
+            return 0
+        return next(iter(self.signals.values())).shape[1]
+
+    @property
+    def variables(self):
+        return self.signals.keys()
+
+
+def evaluate_batch(formula: Formula, batch: BatchTrace) -> np.ndarray:
+    """Robustness of ``formula`` at every step of every stacked trace.
+
+    Returns a ``(B, T)`` array; row ``b`` equals
+    ``evaluate(formula, traces[b])`` exactly.
+
+    Raises:
+        KeyError: when the formula references a variable absent from the batch.
+        ValueError: for an empty batch.
+    """
+    if len(batch) == 0 or batch.batch_size == 0:
+        raise ValueError("cannot evaluate a formula on an empty batch trace")
+    missing = formula.variables() - set(batch.variables)
+    if missing:
+        raise KeyError(
+            f"formula references variables missing from trace: {sorted(missing)}"
+        )
+    return _eval(formula, batch)
+
+
+def robustness_batch(
+    formula: Formula, batch: BatchTrace, step: int = 0
+) -> np.ndarray:
+    """Per-trace robustness at a single ``step`` — a ``(B,)`` array."""
+    values = evaluate_batch(formula, batch)
+    if step < 0 or step >= values.shape[1]:
+        raise IndexError(
+            f"step {step} out of range for trace of length {values.shape[1]}"
+        )
+    return values[:, step]
+
+
+def robustness_many(
+    formula: Formula, traces: Sequence[Trace], step: int = 0
+) -> List[float]:
+    """Robustness at ``step`` for arbitrary (possibly ragged) traces.
+
+    Groups the traces by length, evaluates each rectangular group as one
+    stack, and returns plain floats in the input order — each equal to the
+    scalar ``robustness(formula, trace, step)``.
+    """
+    by_length: Dict[int, List[int]] = {}
+    for i, trace in enumerate(traces):
+        by_length.setdefault(len(trace), []).append(i)
+    out: List[float] = [math.nan] * len(traces)
+    for indices in by_length.values():
+        stacked = BatchTrace.from_traces([traces[i] for i in indices])
+        values = robustness_batch(formula, stacked, step)
+        for row, i in enumerate(indices):
+            out[i] = float(values[row])
+    return out
+
+
+# ----------------------------------------------------------------------
+# evaluation core (the (B, T) twin of robustness._eval)
+# ----------------------------------------------------------------------
+def _eval(formula: Formula, batch: BatchTrace) -> np.ndarray:
+    if isinstance(formula, Atom):
+        shape = (batch.batch_size, len(batch))
+        total = np.full(shape, formula.expr.constant)
+        for name, coeff in formula.expr.coeffs:
+            total = total + coeff * batch.signals[name]
+        return total
+    if isinstance(formula, Not):
+        return -_eval(formula.operand, batch)
+    if isinstance(formula, And):
+        return np.minimum(_eval(formula.left, batch), _eval(formula.right, batch))
+    if isinstance(formula, Or):
+        return np.maximum(_eval(formula.left, batch), _eval(formula.right, batch))
+    if isinstance(formula, Implies):
+        return np.maximum(-_eval(formula.left, batch), _eval(formula.right, batch))
+    if isinstance(formula, Globally):
+        inner = _eval(formula.operand, batch)
+        return _window_fold(inner, formula.interval, batch.period, is_min=True)
+    if isinstance(formula, Eventually):
+        inner = _eval(formula.operand, batch)
+        return _window_fold(inner, formula.interval, batch.period, is_min=False)
+    if isinstance(formula, Until):
+        left = _eval(formula.left, batch)
+        right = _eval(formula.right, batch)
+        return _until(left, right, formula.interval, batch.period)
+    raise TypeError(f"unknown formula node: {type(formula).__name__}")
+
+
+def _window_fold(
+    values: np.ndarray,
+    interval: Interval,
+    period: float,
+    is_min: bool,
+) -> np.ndarray:
+    """Sliding min/max over the window ``[i+lo, i+hi]`` along the time axis.
+
+    End-padding with the fold's neutral element implements both scalar
+    conventions at once: windows that extend past the trace are clipped
+    (padding never wins a min/max against a real sample) and entirely
+    out-of-range windows yield the neutral itself (vacuous ``G`` / ``F``).
+    """
+    n = values.shape[1]
+    lo_steps, hi_steps = interval.to_steps(period)
+    empty = math.inf if is_min else -math.inf
+    reduce = np.minimum if is_min else np.maximum
+
+    if hi_steps is None:
+        suffix = reduce.accumulate(values[:, ::-1], axis=1)[:, ::-1]
+        out = np.full_like(values, empty)
+        if lo_steps < n:
+            out[:, : n - lo_steps] = suffix[:, lo_steps:]
+        return out
+
+    width = hi_steps - lo_steps + 1
+    padded = np.concatenate(
+        [values, np.full((values.shape[0], hi_steps), empty)], axis=1
+    )
+    windows = np.lib.stride_tricks.sliding_window_view(padded, width, axis=1)
+    # Window at position p covers [p, p+width-1]; step i needs p = i + lo.
+    return reduce.reduce(windows[:, lo_steps : lo_steps + n, :], axis=2)
+
+
+def _until(
+    left: np.ndarray,
+    right: np.ndarray,
+    interval: Interval,
+    period: float,
+) -> np.ndarray:
+    """``left U[interval] right`` — scalar recurrences over the batch axis."""
+    n = left.shape[1]
+    lo_steps, hi_steps = interval.to_steps(period)
+
+    if hi_steps is None and lo_steps == 0:
+        out = np.full_like(left, -math.inf)
+        future = np.full(left.shape[0], -math.inf)
+        for i in range(n - 1, -1, -1):
+            future = np.maximum(right[:, i], np.minimum(left[:, i], future))
+            out[:, i] = future
+        return out
+
+    out = np.full_like(left, -math.inf)
+    for i in range(n):
+        hi = n - 1 if hi_steps is None else min(i + hi_steps, n - 1)
+        best = np.full(left.shape[0], -math.inf)
+        guard = np.full(left.shape[0], math.inf)
+        for j in range(i, hi + 1):
+            if j >= i + lo_steps:
+                best = np.maximum(best, np.minimum(right[:, j], guard))
+            guard = np.minimum(guard, left[:, j])
+        out[:, i] = best
+    return out

@@ -64,6 +64,27 @@ def satisfied(formula: Formula, trace: Trace, step: int = 0) -> bool:
     return robustness(formula, trace, step) >= 0.0
 
 
+#: Magnitude that vacuous (±inf) robustness values clamp to at
+#: serialization boundaries.  Matches the finite sentinel already used for
+#: missing traces (`repro.search.objective.NO_TRACE_ROBUSTNESS`), so every
+#: persisted robustness is a valid JSON number on the same scale.
+ROBUSTNESS_CLAMP = 1.0e3
+
+
+def finite_robustness(value: float, limit: float = ROBUSTNESS_CLAMP) -> float:
+    """Clamp a robustness degree to ``[-limit, +limit]`` for serialization.
+
+    Vacuous ``G`` yields ``+inf`` and unreachable ``F`` yields ``-inf``
+    (see module docstring); JSON cannot carry either.  The sign — the part
+    that is sound for satisfaction — survives the clamp.
+    """
+    if value > limit:
+        return limit
+    if value < -limit:
+        return -limit
+    return value
+
+
 # ----------------------------------------------------------------------
 # evaluation core
 # ----------------------------------------------------------------------

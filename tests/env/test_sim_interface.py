@@ -172,7 +172,11 @@ class TestLifecycle:
         assert info["clearance_time"] is not None
         assert info["collision"] is False
         assert info["scenario"] == "nominal"
-        assert math.isfinite(info["min_true_gap"]) or info["min_true_gap"] == math.inf
+        # JSON has no Infinity token: an unobserved gap is null + flag.
+        if info["min_true_gap_observed"]:
+            assert math.isfinite(info["min_true_gap"])
+        else:
+            assert info["min_true_gap"] is None
 
     def test_result_info_keys(self):
         info = quiet().result_info()
@@ -187,4 +191,29 @@ class TestLifecycle:
             "final_time",
             "last_maneuver",
             "min_true_gap",
+            "min_true_gap_observed",
         } <= set(info)
+
+    def test_unobserved_gap_serializes_without_infinity_token(self):
+        """A run where nothing ever comes within gap range must not leak
+        ``inf`` into result_info or its JSON serialization."""
+        from repro.jsonutil import dumps
+        from repro.sim.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(
+            scenario_type=ScenarioType.NOMINAL, seed=0, spawn_schedule=[]
+        )
+        interface = IntersectionSimInterface(
+            spec, position_sigma=0.0, velocity_sigma=0.0
+        )
+        interface.reset()
+        for _ in range(400):
+            if interface.done:
+                break
+            interface.apply_action(Maneuver.PROCEED)
+            interface.advance()
+        info = interface.result_info()
+        assert info["min_true_gap"] is None
+        assert info["min_true_gap_observed"] is False
+        text = dumps(info)
+        assert "Infinity" not in text and "NaN" not in text

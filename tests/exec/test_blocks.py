@@ -1,0 +1,243 @@
+"""Tests for block dispatch: planning, the worker entry, and the engine's
+block execution path staying exactly equivalent to per-unit dispatch."""
+
+import os
+
+import pytest
+
+from repro.exec import (
+    CampaignEngine,
+    EnginePolicy,
+    MemberOutcome,
+    WorkUnit,
+    execute_block,
+    load_journal,
+    plan_blocks,
+)
+from repro.exec.blocks import BLOCK_KEY_PREFIX, block_unit
+
+
+# ----------------------------------------------------------------------
+# module-level (picklable) task functions
+# ----------------------------------------------------------------------
+def square(payload):
+    return payload * payload
+
+
+def fail_or_square(payload):
+    if payload == "poison":
+        raise ValueError("bad unit poison")
+    return payload * payload
+
+
+def flaky(payload):
+    """Fail until a file-backed counter reaches the configured threshold."""
+    counter_path, fail_times = payload
+    count = int(open(counter_path).read()) if os.path.exists(counter_path) else 0
+    if count < fail_times:
+        with open(counter_path, "w") as fh:
+            fh.write(str(count + 1))
+        raise RuntimeError(f"flaky failure #{count + 1}")
+    return "recovered"
+
+
+def batch_square(payloads):
+    return [p * p for p in payloads]
+
+
+batch_square.__block_worker__ = True
+
+
+def batch_boom(payloads):
+    raise RuntimeError("batch worker down")
+
+
+batch_boom.__block_worker__ = True
+
+
+def batch_short(payloads):
+    return [0]
+
+
+batch_short.__block_worker__ = True
+
+
+def _units(n):
+    return [WorkUnit(key=f"k{i}", payload=i) for i in range(n)]
+
+
+def policy(**kw):
+    kw.setdefault("retry_backoff_s", 0.01)
+    return EnginePolicy(**kw)
+
+
+def _comparable(records):
+    """The deterministic face of a record list (drop timing/worker)."""
+    return [(r.key, r.status, r.result) for r in records]
+
+
+class TestPlanBlocks:
+    def test_partitions_preserve_order(self):
+        units = _units(7)
+        blocks = plan_blocks(units, 3)
+        assert [len(b) for b in blocks] == [3, 3, 1]
+        assert [u.key for block in blocks for u in block] == [u.key for u in units]
+
+    def test_block_size_one_is_singletons(self):
+        assert [len(b) for b in plan_blocks(_units(4), 1)] == [1, 1, 1, 1]
+
+    def test_oversized_block_is_one_block(self):
+        assert [len(b) for b in plan_blocks(_units(3), 100)] == [3]
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            plan_blocks(_units(2), 0)
+
+    def test_policy_rejects_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            EnginePolicy(block_size=0)
+
+
+class TestBlockUnit:
+    def test_key_carries_prefix_and_fingerprint(self):
+        members = _units(3)
+        unit = block_unit(square, members, ordinal=2)
+        assert unit.key.startswith(f"{BLOCK_KEY_PREFIX}00002:")
+        # Different memberships must never collide on key.
+        other = block_unit(square, _units(2), ordinal=2)
+        assert unit.key != other.key
+
+    def test_payload_preserves_member_order(self):
+        members = _units(3)
+        unit = block_unit(square, members, ordinal=0)
+        fn, payloads = unit.payload
+        assert fn is square
+        assert [k for k, _ in payloads] == ["k0", "k1", "k2"]
+
+
+class TestExecuteBlock:
+    def test_all_members_succeed_in_order(self):
+        payload = (square, [("a", 2), ("b", 3), ("c", 4)])
+        outcomes = execute_block(payload)
+        assert [o.key for o in outcomes] == ["a", "b", "c"]
+        assert [o.result for o in outcomes] == [4, 9, 16]
+        assert all(o.ok for o in outcomes)
+
+    def test_member_exception_becomes_error_outcome(self):
+        payload = (fail_or_square, [("good", 3), ("bad", "poison"), ("late", 5)])
+        outcomes = execute_block(payload)
+        assert [o.status for o in outcomes] == ["ok", "error", "ok"]
+        bad = outcomes[1]
+        assert bad.error_type == "ValueError"
+        assert "poison" in bad.message
+        assert not bad.ok
+        # A failing member never prevents later members from running.
+        assert outcomes[2].result == 25
+
+    def test_block_worker_runs_whole_block_in_one_call(self):
+        outcomes = execute_block((batch_square, [("a", 2), ("b", 3), ("c", 4)]))
+        assert [o.key for o in outcomes] == ["a", "b", "c"]
+        assert [o.result for o in outcomes] == [4, 9, 16]
+        assert all(o.ok for o in outcomes)
+
+    def test_block_worker_length_mismatch_fails_wholesale(self):
+        with pytest.raises(RuntimeError):
+            execute_block((batch_short, [("a", 2), ("b", 3)]))
+
+    def test_outcome_is_picklable_dataclass(self):
+        import pickle
+
+        outcome = MemberOutcome(key="k", status="ok", result=1)
+        assert pickle.loads(pickle.dumps(outcome)) == outcome
+
+
+class TestEngineBlockExecution:
+    def test_serial_blocks_equal_per_unit_records(self):
+        units = _units(10)
+        per_unit = CampaignEngine(square, policy(), progress=None).run(units)
+        blocked = CampaignEngine(
+            square, policy(block_size=3), progress=None
+        ).run(units)
+        assert _comparable(blocked.records) == _comparable(per_unit.records)
+        assert blocked.summary.executed == per_unit.summary.executed
+
+    def test_pool_blocks_equal_serial(self):
+        units = _units(12)
+        serial = CampaignEngine(square, policy(), progress=None).run(units)
+        blocked = CampaignEngine(
+            square, policy(jobs=2, block_size=4), progress=None
+        ).run(units)
+        assert _comparable(blocked.records) == _comparable(serial.records)
+
+    def test_failing_member_drains_to_per_unit_retry(self):
+        units = [
+            WorkUnit(key="good", payload=3),
+            WorkUnit(key="bad", payload="poison"),
+            WorkUnit(key="also-good", payload=4),
+        ]
+        report = CampaignEngine(
+            fail_or_square, policy(block_size=3, max_retries=1), progress=None
+        ).run(units)
+        records = report.record_map()
+        assert records["good"].ok and records["good"].result == 9
+        assert records["also-good"].ok and records["also-good"].result == 16
+        assert records["bad"].status == "error"
+        assert records["bad"].error.error_type == "ValueError"
+
+    def test_flaky_member_recovers_through_per_unit_path(self, tmp_path):
+        counter = tmp_path / "counter"
+        units = [
+            WorkUnit(key="stable", payload=(str(tmp_path / "never"), 0)),
+            WorkUnit(key="flaky", payload=(str(counter), 1)),
+        ]
+        report = CampaignEngine(
+            flaky, policy(block_size=2, max_retries=2), progress=None
+        ).run(units)
+        records = report.record_map()
+        assert records["flaky"].ok
+        assert records["flaky"].result == "recovered"
+        assert records["stable"].ok
+
+    def test_block_fn_equals_per_unit_records(self):
+        units = _units(9)
+        per_unit = CampaignEngine(square, policy(), progress=None).run(units)
+        batched = CampaignEngine(
+            square, policy(block_size=4), progress=None, block_fn=batch_square
+        ).run(units)
+        assert _comparable(batched.records) == _comparable(per_unit.records)
+
+    def test_failing_block_fn_falls_back_to_per_unit(self):
+        units = _units(5)
+        report = CampaignEngine(
+            square, policy(block_size=2), progress=None, block_fn=batch_boom
+        ).run(units)
+        assert _comparable(report.records) == [
+            (f"k{i}", "ok", i * i) for i in range(5)
+        ]
+
+    def test_journal_records_member_units_not_blocks(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        units = _units(5)
+        CampaignEngine(
+            square, policy(block_size=2), progress=None, journal=journal
+        ).run(units)
+        state = load_journal(journal)
+        assert state.completed_keys() == {u.key for u in units}
+        assert not any(k.startswith(BLOCK_KEY_PREFIX) for k in state.completed_keys())
+
+    def test_resume_skips_completed_units_in_block_mode(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        units = _units(6)
+        CampaignEngine(
+            square, policy(block_size=2), progress=None, journal=journal
+        ).run(units[:4])
+        report = CampaignEngine(
+            square,
+            policy(block_size=2),
+            progress=None,
+            journal=journal,
+            resume=True,
+        ).run(units)
+        records = report.record_map()
+        assert all(records[u.key].ok for u in units)
+        assert sum(1 for r in report.records if r.cached) == 4

@@ -1,0 +1,82 @@
+"""Block-dispatched campaigns must be indistinguishable from per-unit ones.
+
+This is the batched-execution analog of ``test_parallel_campaign.py``'s
+jobs=1 vs jobs=N pin: ``execute_suite(block_size=K)`` must produce the
+same outcomes field-for-field (wall-clock aside), a byte-identical
+report.json, and a journal keyed by the same per-unit keys as
+``block_size=1``.
+"""
+
+import dataclasses
+
+from repro.exec import load_journal
+from repro.exec.blocks import BLOCK_KEY_PREFIX
+from repro.experiments import execute_suite
+from repro.experiments.campaign import unit_key, write_campaign_report
+from repro.sim import ScenarioType
+
+SCENARIOS = (ScenarioType.NOMINAL, ScenarioType.CONGESTED)
+SEEDS = (0, 1)
+
+
+def _strip_wall_time(results):
+    return {
+        scenario: [dataclasses.replace(o, wall_time_s=0.0) for o in outcomes]
+        for scenario, outcomes in results.items()
+    }
+
+
+class TestBlockDeterminism:
+    def test_block_suite_equals_per_unit_field_for_field(self):
+        per_unit, _ = execute_suite(SCENARIOS, SEEDS, jobs=1, progress=None)
+        blocked, _ = execute_suite(
+            SCENARIOS, SEEDS, jobs=1, block_size=3, progress=None
+        )
+        assert _strip_wall_time(blocked) == _strip_wall_time(per_unit)
+
+    def test_pool_block_suite_equals_per_unit(self):
+        per_unit, _ = execute_suite(SCENARIOS, SEEDS, jobs=1, progress=None)
+        blocked, _ = execute_suite(
+            SCENARIOS, SEEDS, jobs=2, block_size=2, progress=None
+        )
+        assert _strip_wall_time(blocked) == _strip_wall_time(per_unit)
+
+    def test_block_report_bytes_identical(self, tmp_path):
+        per_unit, _ = execute_suite(SCENARIOS, SEEDS, jobs=1, progress=None)
+        blocked, _ = execute_suite(
+            SCENARIOS, SEEDS, jobs=1, block_size=4, progress=None
+        )
+        base = write_campaign_report(per_unit, tmp_path / "base.json")
+        block = write_campaign_report(blocked, tmp_path / "block.json")
+        assert block.read_bytes() == base.read_bytes()
+
+    def test_block_journal_keyed_per_unit(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        execute_suite(
+            SCENARIOS, SEEDS, jobs=1, block_size=2, journal=journal, progress=None
+        )
+        completed = load_journal(journal).completed_keys()
+        assert completed == {
+            unit_key(scenario, seed) for scenario in SCENARIOS for seed in SEEDS
+        }
+        assert not any(k.startswith(BLOCK_KEY_PREFIX) for k in completed)
+
+    def test_block_resume_runs_only_missing_tasks(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        execute_suite(
+            SCENARIOS, (0,), jobs=1, block_size=2, journal=journal, progress=None
+        )
+        results, report = execute_suite(
+            SCENARIOS,
+            SEEDS,
+            jobs=1,
+            block_size=2,
+            journal=journal,
+            resume=True,
+            progress=None,
+        )
+        assert {s: len(o) for s, o in results.items()} == {
+            scenario: len(SEEDS) for scenario in SCENARIOS
+        }
+        cached = sum(1 for r in report.records if r.cached)
+        assert cached == len(SCENARIOS)  # the seed-0 runs came from the journal

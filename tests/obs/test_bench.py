@@ -207,7 +207,9 @@ class TestSearchWorkload:
     def test_campaign_config_shape_unchanged(self):
         config = WORKLOADS["smoke"].config()
         assert "kind" not in config
-        assert set(config) == {"scenarios", "seeds", "jobs", "deadline_ms", "breaker"}
+        assert set(config) == {
+            "scenarios", "seeds", "jobs", "block_size", "deadline_ms", "breaker",
+        }
 
     def test_search_workload_payload_schema(self, tmp_path):
         from repro.obs.bench import Workload

@@ -1,0 +1,203 @@
+"""Scalar-vs-batch equivalence: BatchWorlds must reproduce World bit-for-bit.
+
+The scalar :class:`repro.sim.world.World` is the reference implementation;
+the vectorized :class:`repro.sim.batch.BatchWorlds` is an optimization and
+must never change results.  These tests drive both paths with identical ego
+acceleration sequences and compare *exact* float equality — no tolerance —
+on every observable: per-vehicle ``(s, speed, acceleration)``, pedestrian
+progress, collision events, ``min_true_gap``, clearance time, done and
+gridlock flags.
+
+The fast subset (default) covers every scenario type at one seed with a
+per-tick comparison, plus one mixed-policy multi-world batch.  The full
+sweep (seeds x policies, 54 worlds) runs under ``-m slow``.
+"""
+
+import math
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.sim.batch import BatchWorlds
+from repro.sim.scenario import SCENARIO_BUILDERS, ScenarioType, build_scenario
+from repro.sim.world import World
+
+MAX_TICKS = 700
+
+
+def _policy(kind, name, seed, n=MAX_TICKS):
+    """Deterministic ego acceleration schedule, same floats to both paths."""
+    if kind == "random":
+        rng = random.Random(f"policy:{name}:{seed}")
+        return [rng.uniform(-3.0, 2.0) for _ in range(n)]
+    if kind == "aggressive":
+        return [2.0] * n
+    if kind == "stopgo":
+        # Hard brake to rest mid-approach, then floor it: exercises the
+        # come-to-rest clamp and late-arrival contacts.
+        return [-4.0] * 40 + [2.0] * (n - 40)
+    raise ValueError(kind)
+
+
+def _vehicle_states(world):
+    return {
+        v.vehicle_id: (v.s, v.speed, v.acceleration) for v in world.vehicles
+    }
+
+
+def _batch_states(batch, i):
+    return {vid: (s, v, a) for vid, s, v, a in batch.vehicle_states(i)}
+
+
+def _collision_tuples(events):
+    return [(e.time, e.other_id, e.other_kind, e.ego_speed) for e in events]
+
+
+def _assert_world_matches(world, batch, i, context):
+    assert _batch_states(batch, i) == _vehicle_states(world), context
+    if world.pedestrians:
+        assert batch.pedestrian_progress(i) == world.pedestrians[0].s, context
+    wm, bm = world.min_true_gap, float(batch.min_true_gap[i])
+    assert wm == bm or (math.isinf(wm) and math.isinf(bm)), (
+        f"{context}: min_true_gap {bm!r} != {wm!r}"
+    )
+    assert _collision_tuples(batch.collisions[i]) == _collision_tuples(
+        world.collisions
+    ), context
+    assert batch.ego_clearance_time[i] == world.ego_clearance_time, context
+    assert batch.world_done(i) == world.done, context
+
+
+class TestPerTickEquivalence:
+    """Lockstep single-world runs compared after every tick."""
+
+    @pytest.mark.parametrize("scenario_type", list(SCENARIO_BUILDERS))
+    def test_scenario_matches_scalar_per_tick(self, scenario_type):
+        seed = 0
+        spec = SCENARIO_BUILDERS[scenario_type](seed)
+        accels = _policy("random", scenario_type.value, seed)
+
+        world = World(spec)
+        batch = BatchWorlds([spec])
+        tick = 0
+        while not world.done and tick < MAX_TICKS:
+            a = accels[tick]
+            world.ego.apply_acceleration(a)
+            batch.apply_ego_accelerations([a])
+            world.step()
+            batch.step()
+            tick += 1
+            _assert_world_matches(
+                world, batch, 0, f"{scenario_type.value} seed={seed} tick={tick}"
+            )
+        assert world.done, f"{scenario_type.value} never terminated"
+        assert batch.gridlocked(0) == world.gridlocked
+        assert batch.timed_out(0) == world.timed_out
+        assert batch.had_collision(0) == world.had_collision
+
+
+class TestMultiWorldBatch:
+    """Many worlds stepped by ONE BatchWorlds must not cross-talk."""
+
+    def test_mixed_policy_batch_matches_individual_worlds(self):
+        specs, policies, labels = [], [], []
+        for scenario_type, builder in SCENARIO_BUILDERS.items():
+            for kind in ("aggressive", "stopgo"):
+                specs.append(builder(0))
+                policies.append(_policy(kind, scenario_type.value, 0))
+                labels.append(f"{scenario_type.value}/{kind}")
+
+        batch = BatchWorlds(specs)
+        worlds = [World(s) for s in specs]
+        for tick in range(MAX_TICKS):
+            accels = []
+            for i, world in enumerate(worlds):
+                accels.append(policies[i][tick])
+                if not world.done:
+                    world.ego.apply_acceleration(accels[-1])
+                    world.step()
+            batch.apply_ego_accelerations(accels)
+            batch.step()
+            if batch.all_done and all(w.done for w in worlds):
+                break
+
+        total_collisions = 0
+        for i, world in enumerate(worlds):
+            _assert_world_matches(world, batch, i, labels[i])
+            assert batch.gridlocked(i) == world.gridlocked, labels[i]
+            total_collisions += len(world.collisions)
+        # The aggressive policy rams background traffic — the sweep is only
+        # meaningful if the collision/dedup path actually fired.
+        assert total_collisions > 0
+
+    def test_done_worlds_freeze_while_others_run(self):
+        # One world times out quickly (short timeout), the other keeps going;
+        # the finished world's state must not drift afterwards.
+        import dataclasses
+
+        fast = dataclasses.replace(build_scenario(ScenarioType.NOMINAL, 0), timeout_s=1.0)
+        slow = build_scenario(ScenarioType.NOMINAL, 0)
+        batch = BatchWorlds([fast, slow])
+        for _ in range(12):
+            batch.apply_ego_accelerations([0.0, 0.0])
+            batch.step()
+        assert batch.timed_out(0)
+        frozen = _batch_states(batch, 0)
+        for _ in range(10):
+            batch.apply_ego_accelerations([2.0, 2.0])
+            batch.step()
+        assert _batch_states(batch, 0) == frozen
+        assert not batch.world_done(1) or batch.ego_finished(1)
+
+
+class TestValidation:
+    def test_acceleration_count_must_match_batch(self):
+        batch = BatchWorlds([build_scenario(ScenarioType.NOMINAL, 0)])
+        with pytest.raises(ValueError):
+            batch.apply_ego_accelerations([0.0, 1.0])
+
+    def test_profiler_records_batch_step_phase(self):
+        from repro.obs import PhaseProfiler
+        from repro.sim.batch import BATCH_STEP_PHASE
+
+        profiler = PhaseProfiler()
+        batch = BatchWorlds([build_scenario(ScenarioType.NOMINAL, 0)])
+        batch.apply_ego_accelerations([0.0])
+        batch.step(profiler=profiler)
+        assert BATCH_STEP_PHASE == "sim.batch_step"
+        assert profiler.snapshot()[BATCH_STEP_PHASE]["count"] == 1
+
+
+@pytest.mark.slow
+class TestFullSweep:
+    """54 worlds (6 scenario types x 3 seeds x 3 policies) in one batch."""
+
+    def test_full_sweep_matches_scalar(self):
+        specs, policies, labels = [], [], []
+        for scenario_type, builder in SCENARIO_BUILDERS.items():
+            for seed in (0, 1, 2):
+                for kind in ("random", "aggressive", "stopgo"):
+                    specs.append(builder(seed))
+                    policies.append(_policy(kind, scenario_type.value, seed))
+                    labels.append(f"{scenario_type.value}/{seed}/{kind}")
+
+        batch = BatchWorlds(specs)
+        worlds = [World(s) for s in specs]
+        for tick in range(MAX_TICKS):
+            accels = []
+            for i, world in enumerate(worlds):
+                accels.append(policies[i][tick])
+                if not world.done:
+                    world.ego.apply_acceleration(accels[-1])
+                    world.step()
+            batch.apply_ego_accelerations(accels)
+            batch.step()
+            if batch.all_done and all(w.done for w in worlds):
+                break
+
+        for i, world in enumerate(worlds):
+            _assert_world_matches(world, batch, i, labels[i])
+            assert batch.gridlocked(i) == world.gridlocked, labels[i]
+            assert batch.timed_out(i) == world.timed_out, labels[i]

@@ -58,6 +58,32 @@ class TestKinematics:
         assert v.jerk(0.1) == pytest.approx(-30.0)
 
 
+class TestFinishTransition:
+    def test_come_to_rest_across_route_end_finishes(self, straight):
+        # Stopping distance 0.3^2 / (2*4) = 0.011 m crosses the remaining
+        # 0.005 m: coming to rest mid-step still drives off the route end.
+        v = Vehicle(route=straight, s=straight.length - 0.005, speed=0.3)
+        v.apply_acceleration(-4.0)
+        assert not v.finished
+        v.step(0.1)
+        assert v.speed == 0.0
+        assert v.s >= straight.length
+        assert v.finished
+
+    def test_come_to_rest_short_of_end_stays_unfinished(self, straight):
+        v = Vehicle(route=straight, s=straight.length - 1.0, speed=0.3)
+        v.apply_acceleration(-4.0)
+        v.step(0.1)
+        assert v.speed == 0.0
+        assert not v.finished
+
+    def test_cruising_across_route_end_finishes(self, straight):
+        v = Vehicle(route=straight, s=straight.length - 0.1, speed=5.0)
+        v.apply_acceleration(0.0)
+        v.step(0.1)
+        assert v.finished
+
+
 class TestDerivedGeometry:
     def test_position_follows_route(self, straight):
         v = Vehicle(route=straight, s=20.0)

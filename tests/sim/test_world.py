@@ -111,3 +111,58 @@ class TestCollisionBookkeeping:
         ids = [c.other_id for c in world.collisions]
         assert ids.count(intruder.vehicle_id) == 1
         assert world.had_collision
+
+    def _world_with_contact(self):
+        """(world, intruder) immediately after their first logged contact."""
+        world = World(build_scenario(ScenarioType.CONGESTED, 0))
+        world.ego.apply_acceleration(0.0)
+        for _ in range(30):
+            world.step()
+        intruder = world.background_vehicles[0]
+        intruder.route = world.ego.route
+        intruder.s = world.ego.s + 1.0
+        intruder.speed = world.ego.speed
+        world.step()
+        assert self._events_for(world, intruder) == 1
+        return world, intruder
+
+    @staticmethod
+    def _events_for(world, intruder):
+        return [c.other_id for c in world.collisions].count(intruder.vehicle_id)
+
+    def test_recontact_after_separation_logged_again(self):
+        world, intruder = self._world_with_contact()
+        # Separate well beyond CONTACT_REARM_GAP: suppression must drop...
+        intruder.s = world.ego.s + 30.0
+        intruder.speed = world.ego.speed
+        world.step()
+        # ...so a fresh impact with the same partner is a new collision.
+        intruder.s = world.ego.s + 1.0
+        intruder.speed = world.ego.speed
+        world.step()
+        assert self._events_for(world, intruder) == 2
+
+    def test_contact_stays_suppressed_within_rearm_gap(self):
+        world, intruder = self._world_with_contact()
+        # Hover just clear of the ego (footprint gap below CONTACT_REARM_GAP):
+        # the pair has not genuinely separated, so no re-arm happens.
+        half_lengths = (world.ego.length + intruder.length) / 2.0
+        intruder.s = world.ego.s + half_lengths + 0.3
+        intruder.speed = world.ego.speed
+        world.step()
+        # Re-overlapping now is the same grinding contact, not a new event.
+        intruder.s = world.ego.s + 1.0
+        intruder.speed = world.ego.speed
+        world.step()
+        assert self._events_for(world, intruder) == 1
+
+    def test_departed_partner_rearms_via_liveness(self):
+        world, intruder = self._world_with_contact()
+        # Drive the intruder off the end of its route: a finished entity has
+        # no footprint, which also drops the suppression.
+        intruder.s = intruder.route.length + 1.0
+        world.step()
+        intruder.s = world.ego.s + 1.0
+        intruder.speed = world.ego.speed
+        world.step()
+        assert self._events_for(world, intruder) == 2

@@ -1,0 +1,208 @@
+"""Batched STL robustness must be bit-identical to the scalar evaluator.
+
+``repro.stl.robustness.evaluate`` is the reference; ``evaluate_batch`` is a
+vectorized port.  A seeded fuzzer generates random formulas (every node
+type, bounded/unbounded intervals, empty-window vacuity) and random trace
+stacks, then compares every ``(trace, step)`` cell with exact float
+equality.  The fast subset runs a few dozen cases; the full fuzz runs
+under ``-m slow``.
+"""
+
+import math
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.stl import Trace, evaluate, robustness
+from repro.stl.ast import (
+    And,
+    Atom,
+    Eventually,
+    Expr,
+    Globally,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    Until,
+)
+from repro.stl.batch import (
+    BatchTrace,
+    evaluate_batch,
+    robustness_batch,
+    robustness_many,
+)
+
+NAMES = ["gap", "speed", "ttc"]
+
+
+def _random_formula(rng, depth=0):
+    choices = ["atom"] if depth >= 3 else [
+        "atom", "atom", "not", "and", "or", "implies", "G", "F", "U",
+    ]
+    kind = rng.choice(choices)
+    if kind == "atom":
+        coeffs = tuple(
+            (n, rng.uniform(-2, 2)) for n in rng.sample(NAMES, rng.randint(1, 2))
+        )
+        return Atom(Expr(coeffs=coeffs, constant=rng.uniform(-5, 5)))
+    if kind == "not":
+        return Not(_random_formula(rng, depth + 1))
+    if kind in ("and", "or", "implies"):
+        cls = {"and": And, "or": Or, "implies": Implies}[kind]
+        return cls(_random_formula(rng, depth + 1), _random_formula(rng, depth + 1))
+    lo = rng.choice([0.0, 0.1, 0.5, 2.0])
+    hi = rng.choice([lo, lo + 0.3, lo + 1.0, lo + 5.0, math.inf, 100.0])
+    interval = Interval(lo, hi)
+    if kind == "G":
+        return Globally(_random_formula(rng, depth + 1), interval)
+    if kind == "F":
+        return Eventually(_random_formula(rng, depth + 1), interval)
+    return Until(
+        _random_formula(rng, depth + 1), _random_formula(rng, depth + 1), interval
+    )
+
+
+def _random_trace(rng, n):
+    return Trace(
+        period=0.1,
+        signals={name: [rng.uniform(-10, 10) for _ in range(n)] for name in NAMES},
+    )
+
+
+def _assert_cases_match(seed, cases):
+    rng = random.Random(seed)
+    for case in range(cases):
+        formula = _random_formula(rng)
+        n = rng.choice([1, 2, 5, 17, 60])
+        batch_size = rng.randint(1, 6)
+        traces = [_random_trace(rng, n) for _ in range(batch_size)]
+        scalar = [evaluate(formula, trace) for trace in traces]
+        batched = evaluate_batch(formula, BatchTrace.from_traces(traces))
+        assert batched.shape == (batch_size, n)
+        for b in range(batch_size):
+            for i in range(n):
+                sv, bv = scalar[b][i], float(batched[b, i])
+                assert sv == bv or (math.isnan(sv) and math.isnan(bv)), (
+                    f"case={case} trace={b} step={i}: {bv!r} != {sv!r}\n{formula}"
+                )
+
+
+class TestFuzzEquivalence:
+    def test_random_formulas_match_scalar(self):
+        _assert_cases_match(seed=42, cases=30)
+
+    @pytest.mark.slow
+    def test_random_formulas_match_scalar_full(self):
+        _assert_cases_match(seed=1729, cases=250)
+
+
+class TestPinnedSemantics:
+    """Hand-picked cases the fuzzer might under-sample."""
+
+    def _trace(self, values):
+        return Trace(period=0.1, signals={"gap": list(values)})
+
+    def test_vacuous_globally_is_positive_infinity(self):
+        formula = Globally(Atom(Expr(coeffs=(("gap", 1.0),))), Interval(5.0, 9.0))
+        trace = self._trace([1.0, 2.0, 3.0])  # window starts past the end
+        batched = evaluate_batch(formula, BatchTrace.from_traces([trace]))
+        assert list(batched[0]) == evaluate(formula, trace)
+        assert batched[0, 0] == math.inf
+
+    def test_vacuous_eventually_is_negative_infinity(self):
+        formula = Eventually(Atom(Expr(coeffs=(("gap", 1.0),))), Interval(5.0, 9.0))
+        trace = self._trace([1.0, 2.0, 3.0])
+        batched = evaluate_batch(formula, BatchTrace.from_traces([trace]))
+        assert list(batched[0]) == evaluate(formula, trace)
+        assert batched[0, 0] == -math.inf
+
+    def test_unbounded_until_matches_scalar(self):
+        formula = Until(
+            Atom(Expr(coeffs=(("gap", 1.0),))),
+            Atom(Expr(coeffs=(("gap", -1.0),), constant=2.0)),
+            Interval(0.0, math.inf),
+        )
+        trace = self._trace([3.0, 1.0, -2.0, 4.0, 0.5])
+        batched = evaluate_batch(formula, BatchTrace.from_traces([trace]))
+        assert list(batched[0]) == evaluate(formula, trace)
+
+    def test_robustness_batch_matches_scalar_robustness(self):
+        formula = Globally(Atom(Expr(coeffs=(("gap", 1.0),))), Interval(0.0, 0.3))
+        traces = [self._trace([1.0, 2.0, 0.5, 4.0]), self._trace([9.0, -1.0, 2.0, 3.0])]
+        values = robustness_batch(formula, BatchTrace.from_traces(traces), step=1)
+        assert list(values) == [robustness(formula, t, step=1) for t in traces]
+
+
+class TestRobustnessMany:
+    def test_ragged_traces_return_in_input_order(self):
+        rng = random.Random(7)
+        formula = _random_formula(rng)
+        traces = [_random_trace(rng, n) for n in (5, 9, 5, 30, 9)]
+        many = robustness_many(formula, traces)
+        assert len(many) == len(traces)
+        for i, trace in enumerate(traces):
+            sv = evaluate(formula, trace)[0]
+            assert many[i] == sv or (math.isnan(sv) and math.isnan(many[i]))
+
+    def test_empty_input_is_empty_output(self):
+        formula = Atom(Expr(coeffs=(("gap", 1.0),)))
+        assert robustness_many(formula, []) == []
+
+
+class TestValidation:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchTrace(period=0.0, signals={"gap": np.zeros((1, 3))})
+
+    def test_signals_must_be_two_dimensional(self):
+        with pytest.raises(ValueError):
+            BatchTrace(period=0.1, signals={"gap": np.zeros(3)})
+
+    def test_signals_must_share_shape(self):
+        with pytest.raises(ValueError):
+            BatchTrace(
+                period=0.1,
+                signals={"gap": np.zeros((2, 3)), "speed": np.zeros((2, 4))},
+            )
+
+    def test_from_traces_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BatchTrace.from_traces([])
+
+    def test_from_traces_rejects_period_mismatch(self):
+        a = Trace(period=0.1, signals={"gap": [1.0]})
+        b = Trace(period=0.2, signals={"gap": [1.0]})
+        with pytest.raises(ValueError):
+            BatchTrace.from_traces([a, b])
+
+    def test_from_traces_rejects_variable_mismatch(self):
+        a = Trace(period=0.1, signals={"gap": [1.0]})
+        b = Trace(period=0.1, signals={"speed": [1.0]})
+        with pytest.raises(ValueError):
+            BatchTrace.from_traces([a, b])
+
+    def test_from_traces_rejects_ragged_lengths(self):
+        a = Trace(period=0.1, signals={"gap": [1.0, 2.0]})
+        b = Trace(period=0.1, signals={"gap": [1.0]})
+        with pytest.raises(ValueError, match="robustness_many"):
+            BatchTrace.from_traces([a, b])
+
+    def test_missing_variable_raises_key_error(self):
+        formula = Atom(Expr(coeffs=(("missing", 1.0),)))
+        batch = BatchTrace(period=0.1, signals={"gap": np.zeros((1, 3))})
+        with pytest.raises(KeyError):
+            evaluate_batch(formula, batch)
+
+    def test_empty_batch_rejected(self):
+        formula = Atom(Expr(coeffs=(("gap", 1.0),)))
+        with pytest.raises(ValueError):
+            evaluate_batch(formula, BatchTrace(period=0.1, signals={}))
+
+    def test_step_out_of_range_rejected(self):
+        formula = Atom(Expr(coeffs=(("gap", 1.0),)))
+        batch = BatchTrace(period=0.1, signals={"gap": np.zeros((1, 3))})
+        with pytest.raises(IndexError):
+            robustness_batch(formula, batch, step=3)

@@ -124,6 +124,35 @@ class TestValidation:
         assert satisfied(parse("x >= 2"), trace(x=[2.0]))
 
 
+class TestFiniteRobustness:
+    """Vacuous +-inf robustness must clamp to a JSON-safe sentinel."""
+
+    def test_vacuous_globally_clamps_to_limit(self):
+        from repro.stl import ROBUSTNESS_CLAMP, finite_robustness
+
+        # G over a window entirely past the trace end is vacuously true: +inf.
+        value = robustness(parse("G[10,20] (x >= 0)"), trace(x=[1.0, 2.0]))
+        assert value == math.inf
+        assert finite_robustness(value) == ROBUSTNESS_CLAMP
+
+    def test_unreachable_eventually_clamps_to_negative_limit(self):
+        from repro.stl import ROBUSTNESS_CLAMP, finite_robustness
+
+        value = robustness(parse("F[10,20] (x >= 0)"), trace(x=[1.0, 2.0]))
+        assert value == -math.inf
+        assert finite_robustness(value) == -ROBUSTNESS_CLAMP
+
+    def test_finite_values_pass_through_and_nan_free_json(self):
+        from repro.jsonutil import dumps
+        from repro.stl import finite_robustness
+
+        assert finite_robustness(3.25) == 3.25
+        assert finite_robustness(-999.0) == -999.0
+        payload = {"robustness": finite_robustness(math.inf)}
+        text = dumps(payload)
+        assert "Infinity" not in text and "NaN" not in text
+
+
 # ----------------------------------------------------------------------
 # Soundness property: sign of robustness vs an independent Boolean
 # evaluator over randomly generated formulas and traces.

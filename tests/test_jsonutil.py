@@ -1,0 +1,67 @@
+"""Tests for strict JSON serialization (no Infinity/NaN tokens, ever)."""
+
+import json
+import math
+from io import StringIO
+
+import pytest
+
+from repro.jsonutil import dump, dumps, sanitize
+
+
+class TestSanitize:
+    def test_nonfinite_floats_become_none(self):
+        assert sanitize(math.inf) is None
+        assert sanitize(-math.inf) is None
+        assert sanitize(math.nan) is None
+
+    def test_finite_values_pass_through(self):
+        assert sanitize(1.5) == 1.5
+        assert sanitize(0.0) == 0.0
+        assert sanitize(-7) == -7
+        assert sanitize("inf") == "inf"
+        assert sanitize(True) is True
+        assert sanitize(None) is None
+
+    def test_recurses_into_containers(self):
+        payload = {
+            "gap": math.inf,
+            "runs": [1.0, math.nan, {"ttc": -math.inf}],
+            "pair": (math.inf, 2.0),
+        }
+        assert sanitize(payload) == {
+            "gap": None,
+            "runs": [1.0, None, {"ttc": None}],
+            "pair": [None, 2.0],  # tuples come back as lists (JSON has none)
+        }
+
+    def test_all_finite_payload_is_unchanged(self):
+        payload = {"a": [1.0, 2.0], "b": {"c": 3.5}}
+        assert sanitize(payload) == payload
+
+
+class TestStrictDumps:
+    def test_no_nonstandard_tokens_in_output(self):
+        text = dumps({"gap": math.inf, "rob": math.nan, "neg": -math.inf})
+        assert "Infinity" not in text
+        assert "NaN" not in text
+        assert json.loads(text) == {"gap": None, "rob": None, "neg": None}
+
+    def test_dump_writes_same_bytes_as_dumps(self):
+        payload = {"gap": math.inf, "ok": [1, 2.5]}
+        buffer = StringIO()
+        dump(payload, buffer, sort_keys=True)
+        assert buffer.getvalue() == dumps(payload, sort_keys=True)
+
+    def test_kwargs_forwarded(self):
+        assert dumps({"b": 1, "a": 2}, sort_keys=True) == '{"a": 2, "b": 1}'
+
+    def test_nonfinite_serializes_as_null_not_token(self):
+        assert dumps(math.inf) == "null"
+        assert dumps([math.nan]) == "[null]"
+
+    def test_allow_nan_false_is_the_backstop(self):
+        # dumps/dump pass allow_nan=False to json; a non-finite float that
+        # somehow bypassed sanitization would fail loudly at the producer.
+        with pytest.raises(ValueError):
+            json.dumps(math.inf, allow_nan=False)
