@@ -41,6 +41,7 @@ from .progress import (
     ProgressEvent,
     ProgressHook,
     StderrReporter,
+    TelemetryProgress,
 )
 from .work import ShardPlan, WorkUnit, check_unique_keys, fingerprint
 
@@ -59,6 +60,7 @@ __all__ = [
     "RunJournal",
     "ShardPlan",
     "StderrReporter",
+    "TelemetryProgress",
     "TaskError",
     "TaskRecord",
     "TaskTimeout",

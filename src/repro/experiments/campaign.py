@@ -369,7 +369,9 @@ def run_once(
     metrics.mark_recovery_outcomes(prevented_collision=not info["collision"])
     trace_file: Optional[str] = None
     if recorder is not None:
-        trace_file = str(recorder.finalize(metrics))
+        trace_file = str(
+            recorder.finalize(metrics, extras={"stl_robustness": stl_rho})
+        )
 
     return RunOutcome(
         scenario=scenario_type.value,

@@ -17,11 +17,20 @@ durable and queryable across every layer:
 * :mod:`repro.obs.bench` — pinned benchmark workloads emitting
   schema-versioned ``BENCH_<workload>.json`` snapshots, plus the
   regression gate that compares two of them.
+* :mod:`repro.obs.metrics` — Prometheus text exposition over the
+  telemetry registry (rendering, parsing, validation, ``metrics.json``
+  snapshots); what ``GET /v1/metrics`` serves.
+* :mod:`repro.obs.index` — the cross-run trace query engine: an
+  incrementally refreshed, schema-versioned index over run/job trace
+  trees, with filters, group-by aggregation and drift verification.
+* :mod:`repro.obs.top` — the live fleet dashboard (``obs top``) over a
+  running service or a trace directory.
 * :mod:`repro.obs.cli` — the ``python -m repro.obs`` command
-  (``summarize`` / ``tail`` / ``diff`` / ``profile`` / ``bench`` /
-  ``regress``): recomputes dependability counts from the raw event
-  records and cross-checks them against each run's recorded metrics
-  summary, making traced campaigns self-certifying.
+  (``summarize`` / ``tail`` / ``diff`` / ``query`` / ``top`` /
+  ``profile`` / ``bench`` / ``regress``): recomputes dependability
+  counts from the raw event records and cross-checks them against each
+  run's recorded metrics summary, making traced campaigns
+  self-certifying.
 
 Library modules log under the ``repro.*`` logger hierarchy (the stdlib
 :mod:`logging` module); :func:`configure_logging` is the one-call switch
@@ -56,6 +65,24 @@ from .profile import (
     render_profile,
     unit_profile_path,
     write_profile,
+)
+from .index import (
+    INDEX_FILE_NAME,
+    INDEX_SCHEMA_VERSION,
+    build_row,
+    index_rows,
+    refresh_index,
+    verify_index,
+)
+from .metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    METRICS_FILE_NAME,
+    METRICS_SCHEMA_VERSION,
+    load_metrics_json,
+    parse_exposition,
+    render_exposition,
+    validate_exposition,
+    write_metrics_json,
 )
 from .telemetry import Counter, Gauge, Histogram, TelemetryRegistry
 from .trace import (
@@ -108,11 +135,16 @@ __all__ = [
     "Counter",
     "ENGINE_PROFILE_NAME",
     "ENGINE_TRACE_NAME",
+    "EXPOSITION_CONTENT_TYPE",
     "EngineTracer",
     "Gauge",
     "Histogram",
+    "INDEX_FILE_NAME",
+    "INDEX_SCHEMA_VERSION",
     "MANIFEST_NAME",
     "MERGED_PROFILE_NAME",
+    "METRICS_FILE_NAME",
+    "METRICS_SCHEMA_VERSION",
     "PROFILE_SCHEMA_VERSION",
     "PROFILE_SUFFIX",
     "PhaseProfiler",
@@ -126,25 +158,34 @@ __all__ = [
     "WORKLOADS",
     "Workload",
     "aggregate_counts",
+    "build_row",
     "capture_hotspots",
     "compare_bench",
     "configure_logging",
     "discover_traces",
+    "index_rows",
     "load_bench",
+    "load_metrics_json",
     "load_profile",
     "load_run_traces",
     "load_trace",
     "merge_profile_dir",
+    "parse_exposition",
     "recompute_counts",
+    "refresh_index",
     "regress",
+    "render_exposition",
     "render_profile",
     "run_workload",
     "safe_trace_name",
     "trace_controller",
     "unit_profile_path",
     "unit_trace_path",
+    "validate_exposition",
+    "verify_index",
     "verify_trace",
     "write_bench",
     "write_manifest",
+    "write_metrics_json",
     "write_profile",
 ]

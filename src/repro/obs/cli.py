@@ -1,5 +1,5 @@
 """The observability CLI:
-``python -m repro.obs {summarize,tail,diff,profile,bench,regress}``.
+``python -m repro.obs {summarize,tail,diff,query,top,profile,bench,regress}``.
 
 ``summarize``
     Recompute violation/fault/recovery/iteration counts from a trace's
@@ -17,6 +17,18 @@
     Compare two traces or campaign trace directories: count deltas and
     per-role latency deltas — serial vs parallel, before vs after a
     change.  Exits 0 when counts are identical, 2 on drift.
+``query``
+    The cross-run trace query engine: scan a trace tree (or a whole
+    service root) into a schema-versioned index — one row per run with
+    scenario, seed, iterations, violations by role, faults, recoveries
+    and STL robustness — then filter (``--where rho<0``), group
+    (``--group-by scenario``) and format (``table|json|csv``).
+    ``--verify`` recomputes every indexed row from the raw traces and
+    exits 2 on drift, same contract as ``summarize``.
+``top``
+    Live fleet dashboard over a running service (``--root``/``--url``:
+    queue, slots, per-job progress and throughput, rolling violation
+    counts) or over a trace directory in batch mode (``--dir``).
 ``profile``
     Render a phase profile (``*.profile.json`` file or ``--profile``
     campaign directory): where the wall time went, phase by phase.
@@ -46,7 +58,6 @@ from .trace import (
     aggregate_search_counts,
     discover_traces,
     load_trace,
-    load_run_traces,
     verify_search_trace,
     verify_trace,
 )
@@ -277,16 +288,28 @@ def _follow_traces(path: Path, event_filter: Optional[str], interval: float) -> 
         return 0
 
 
+def _tail_traces(path: "str | Path") -> List[TraceData]:
+    """Every event-bearing trace under ``path``, in stable id order.
+
+    Unlike ``summarize`` this does not restrict to run traces: tailing a
+    ``falsify`` service job must show the search driver's events (its
+    only traces live under ``<job>/search/``), and ``discover_traces``
+    already resolves job directories via their ``job.json`` marker.
+    """
+    traces = [load_trace(p) for p in discover_traces(path)]
+    return sorted((t for t in traces if t.events), key=lambda t: t.trace_id)
+
+
 def cmd_tail(args: argparse.Namespace) -> int:
     try:
-        traces = load_run_traces(args.path)
+        traces = _tail_traces(args.path)
     except OSError:
         # With --follow a not-yet-created path is fine: wait for it.
         if not args.follow:
             raise
         traces = []
     if not traces and not args.follow:
-        print("no run traces found", file=sys.stderr)
+        print("no traces found", file=sys.stderr)
         return 1
     rows: List[str] = []
     label = len(traces) > 1
@@ -300,6 +323,76 @@ def cmd_tail(args: argparse.Namespace) -> int:
     if args.follow:
         return _follow_traces(Path(args.path), args.event, args.interval)
     return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .index import (
+        DETERMINISTIC_FIELDS,
+        TIMING_FIELDS,
+        filter_rows,
+        format_rows,
+        group_rows,
+        index_rows,
+        parse_where,
+        refresh_index,
+        sort_rows,
+        verify_index,
+    )
+
+    if args.verify:
+        ok, problems = verify_index(args.path, args.index)
+        for problem in problems:
+            print(f"DRIFT {problem}", file=sys.stderr)
+        if ok:
+            print("index verified: every row matches its raw trace")
+            return 0
+        print(f"index verification FAILED ({len(problems)} problem(s))")
+        return 2
+
+    index = refresh_index(args.path, args.index, write=not args.no_save)
+    rows = index_rows(index)
+    try:
+        clauses = [parse_where(expr) for expr in args.where]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    rows = filter_rows(rows, clauses)
+    columns: Optional[List[str]] = None
+    if args.group_by:
+        rows = group_rows(rows, args.group_by)
+    else:
+        # The default column set excludes timing/provenance fields, so
+        # query output over a deterministic campaign is byte-identical
+        # whatever --jobs produced the traces; --timing opts back in.
+        columns = list(DETERMINISTIC_FIELDS)
+        if args.timing:
+            columns += list(TIMING_FIELDS)
+        rows = [{c: row.get(c) for c in columns} for row in rows]
+    rows = sort_rows(rows, args.sort)
+    if args.limit is not None:
+        rows = rows[: args.limit]
+    print(format_rows(rows, args.format, columns))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .top import TopError, run_top
+
+    if not (args.url or args.root or args.dir):
+        print("top: need --url or --root (service) or --dir (batch)", file=sys.stderr)
+        return 1
+    iterations = 1 if args.once else args.iterations
+    try:
+        return run_top(
+            url=args.url,
+            root=args.root,
+            trace_dir=args.dir,
+            interval_s=args.interval,
+            iterations=iterations,
+        )
+    except TopError as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 1
 
 
 def _diff_number(label: str, a: Any, b: Any) -> str:
@@ -498,6 +591,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("b", type=Path)
     p.add_argument("--no-timing", action="store_true")
     p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser(
+        "query", help="query the cross-run trace index",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  query trace-out --where scenario=pedestrian --where 'rho<0'\n"
+            "  query service-root --group-by scenario --format csv\n"
+            "  query service-root --sort rho --limit 10   # worst robustness\n"
+            "  query trace-out --verify                   # exits 2 on drift"
+        ),
+    )
+    p.add_argument(
+        "path", type=Path,
+        help="trace file/dir, a job dir, or a whole service root",
+    )
+    p.add_argument(
+        "--where", action="append", default=[], metavar="FIELD<OP>VALUE",
+        help="row filter (=, !=, <, <=, >, >=); repeatable, ANDed",
+    )
+    p.add_argument(
+        "--group-by", default=None, metavar="FIELD",
+        help="aggregate rows by a field (runs, violations, rho_min, ...)",
+    )
+    p.add_argument(
+        "--sort", default=None, metavar="[-]FIELD",
+        help="sort rows by a field; leading '-' descends",
+    )
+    p.add_argument("--limit", type=int, default=None, help="keep the first N rows")
+    p.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table"
+    )
+    p.add_argument(
+        "--timing", action="store_true",
+        help="include wall-time columns (non-deterministic across runs)",
+    )
+    p.add_argument(
+        "--index", type=Path, default=None,
+        help="index file location (default: <path>/obs-index.json)",
+    )
+    p.add_argument(
+        "--no-save", action="store_true",
+        help="do not write the refreshed index back to disk",
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="recompute every indexed row from raw traces; exit 2 on drift",
+    )
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "top", help="live dashboard over a service (or trace dir in batch mode)"
+    )
+    p.add_argument("--url", default=None, help="service URL")
+    p.add_argument(
+        "--root", type=Path, default=None,
+        help="service root; reads the URL from <root>/service.json",
+    )
+    p.add_argument(
+        "--dir", type=Path, default=None,
+        help="batch mode: dashboard over a trace directory, no server",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, help="refresh interval seconds"
+    )
+    p.add_argument("--once", action="store_true", help="print one frame and exit")
+    p.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N refreshes (default: until Ctrl-C)",
+    )
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser(
         "profile", help="render a phase profile file or campaign profile dir"

@@ -323,8 +323,17 @@ class TraceRecorder:
         self.telemetry.histogram(f"role_latency_s.{role}").record(elapsed_s)
 
     # ------------------------------------------------------------------
-    def finalize(self, metrics: Optional["DependabilityMetrics"] = None) -> Path:
-        """Close open spans, write the footer, detach and close the file."""
+    def finalize(
+        self,
+        metrics: Optional["DependabilityMetrics"] = None,
+        extras: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Close open spans, write the footer, detach and close the file.
+
+        ``extras`` merges additional top-level fields into the footer
+        record (e.g. ``stl_robustness``, computed from world-state frames
+        the trace itself does not carry); reserved footer keys win.
+        """
         if self._finalized:
             return self.writer.path
         self._finalized = True
@@ -340,7 +349,8 @@ class TraceRecorder:
         dropped = (
             self._controller.events.dropped_events if self._controller is not None else 0
         )
-        self._write(
+        footer: Dict[str, Any] = dict(extras or {})
+        footer.update(
             {
                 "kind": "trace_footer",
                 "schema": TRACE_SCHEMA_VERSION,
@@ -352,6 +362,7 @@ class TraceRecorder:
                 "telemetry": self.telemetry.snapshot(),
             }
         )
+        self._write(footer)
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None

@@ -34,7 +34,7 @@ from typing import Any, Dict, Optional, Sequence
 from ..jsonutil import dumps as strict_dumps
 from .api import serve
 from .client import ServiceClient, ServiceError
-from .jobs import CANCELLED, DONE, FAILED, known_job_kinds
+from .jobs import CANCELLED, DONE, FAILED, QUEUED, known_job_kinds
 from .scheduler import Scheduler
 from .store import JobStore
 
@@ -152,8 +152,36 @@ def cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_queue_position(
+    client: ServiceClient, job_id: str, poll_s: float = 0.5
+) -> None:
+    """While the job is queued, print its position in the dispatch line.
+
+    A bare ``queued`` tells a tenant nothing about how long the wait is;
+    the position (and the line length) comes from the scheduler's
+    priority-ordered ``queued`` list in ``/v1/stats``.  Returns as soon
+    as the job leaves the queue; prints only when the position moves.
+    """
+    import time
+
+    last = None
+    while client.job(job_id)["state"] == QUEUED:
+        queued = client.stats().get("queued") or []
+        if job_id in queued:
+            position = queued.index(job_id) + 1
+            if position != last:
+                print(
+                    f"{job_id}  queued  position {position}/{len(queued)}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                last = position
+        time.sleep(poll_s)
+
+
 def cmd_watch(args: argparse.Namespace) -> int:
     client = _client(args)
+    _report_queue_position(client, args.job_id)
     for event in client.watch(args.job_id):
         print(strict_dumps(event, sort_keys=True), flush=True)
     return _exit_code(client.job(args.job_id)["state"])

@@ -4,6 +4,7 @@ Endpoints (all JSON unless noted)::
 
     GET  /healthz                      liveness probe
     GET  /v1/stats                     scheduler + telemetry snapshot
+    GET  /v1/metrics                   Prometheus text exposition
     POST /v1/jobs                      submit {kind, spec, priority, jobs}
     GET  /v1/jobs                      list all job records
     GET  /v1/jobs/<id>                 one job record
@@ -35,6 +36,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..jsonutil import dumps as strict_dumps
+from ..obs.metrics import EXPOSITION_CONTENT_TYPE, render_exposition
 from .jobs import DONE, REPORT_NAME, TERMINAL_STATES, JobSpec, known_job_kinds
 from .scheduler import Scheduler
 from .store import UnknownJob
@@ -81,6 +83,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(blob)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        blob = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
     def _send_ndjson(self, lines: "list[str]", headers: Dict[str, str]) -> None:
         blob = ("".join(line + "\n" for line in lines)).encode("utf-8")
         self.send_response(200)
@@ -113,21 +123,31 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self._handle("POST")
 
     def _handle(self, method: str) -> None:
-        self.server.telemetry.counter("service.http_requests").inc()
+        telemetry = self.server.telemetry
+        telemetry.counter("service.http_requests").inc()
+        self._route_label = f"{method} (unmatched)"
+        start = time.perf_counter()
         try:
             self._route(method)
         except ApiError as exc:
-            self.server.telemetry.counter("service.http_errors").inc()
+            telemetry.counter("service.http_errors").inc()
             self._send_json(exc.status, {"error": exc.message})
         except UnknownJob as exc:
-            self.server.telemetry.counter("service.http_errors").inc()
+            telemetry.counter("service.http_errors").inc()
             self._send_json(404, {"error": str(exc.args[0])})
         except BrokenPipeError:  # client went away mid-response
             pass
         except Exception as exc:  # noqa: BLE001 - handler must answer
-            self.server.telemetry.counter("service.http_errors").inc()
+            telemetry.counter("service.http_errors").inc()
             logger.exception("unhandled API error")
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            # Per-route series use the *pattern* (job ids normalized to
+            # ``{id}``) so cardinality stays bounded by the route table.
+            telemetry.counter(f"http.requests.{self._route_label}").inc()
+            telemetry.histogram(f"http.request_s.{self._route_label}").record(
+                time.perf_counter() - start
+            )
 
     def _route(self, method: str) -> None:
         parsed = urlparse(self.path)
@@ -135,17 +155,30 @@ class ServiceHandler(BaseHTTPRequestHandler):
         query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
         scheduler = self.server.scheduler
 
+        def label(pattern: str) -> None:
+            self._route_label = f"{method} {pattern}"
+
         if method == "GET" and parts == ["healthz"]:
+            label("/healthz")
             self._send_json(200, {"status": "ok", "kinds": known_job_kinds()})
             return
         if method == "GET" and parts == ["v1", "stats"]:
+            label("/v1/stats")
             self._send_json(200, scheduler.stats())
+            return
+        if method == "GET" and parts == ["v1", "metrics"]:
+            label("/v1/metrics")
+            self._send_text(
+                200, render_exposition(scheduler.collect()), EXPOSITION_CONTENT_TYPE
+            )
             return
         if parts[:2] == ["v1", "jobs"]:
             if method == "POST" and len(parts) == 2:
+                label("/v1/jobs")
                 self._submit()
                 return
             if method == "GET" and len(parts) == 2:
+                label("/v1/jobs")
                 self._send_json(
                     200, {"jobs": [r.to_dict() for r in scheduler.jobs()]}
                 )
@@ -153,16 +186,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
             if len(parts) >= 3:
                 job_id = parts[2]
                 if method == "GET" and len(parts) == 3:
+                    label("/v1/jobs/{id}")
                     self._send_json(200, scheduler.job(job_id).to_dict())
                     return
                 if method == "POST" and parts[3:] == ["cancel"]:
+                    label("/v1/jobs/{id}/cancel")
                     record = scheduler.cancel(job_id)
                     self._send_json(200, record.to_dict())
                     return
                 if method == "GET" and parts[3:] == ["results"]:
+                    label("/v1/jobs/{id}/results")
                     self._results(job_id)
                     return
                 if method == "GET" and parts[3:] == ["events"]:
+                    label("/v1/jobs/{id}/events")
                     self._events(job_id, query)
                     return
         raise ApiError(404, f"no route for {method} {parsed.path}")

@@ -85,6 +85,11 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._json("GET", "/v1/stats")
 
+    def metrics(self) -> str:
+        """Raw Prometheus text exposition from ``GET /v1/metrics``."""
+        _, blob = self._request("GET", "/v1/metrics")
+        return blob.decode("utf-8")
+
     def submit(
         self,
         kind: str,

@@ -22,10 +22,13 @@ from __future__ import annotations
 
 import logging
 import threading
+import time
 import traceback
 from typing import Callable, Dict, List, Optional
 
-from ..exec import CampaignCancelled, ProgressEvent
+from .. import __version__
+from ..exec import CampaignCancelled, ProgressEvent, TelemetryProgress
+from ..obs.metrics import METRICS_FILE_NAME, write_metrics_json
 from ..obs.telemetry import TelemetryRegistry
 from .jobs import (
     CANCELLED,
@@ -42,6 +45,31 @@ from .queue import JobQueue
 from .store import JobStore
 
 logger = logging.getLogger(__name__)
+
+#: Version stamp of the ``/v1/stats`` payload shape.
+STATS_SCHEMA_VERSION = 1
+
+#: Every lifecycle state, for per-state job-count gauges (a state with
+#: zero jobs still exposes an explicit 0, so scrapers see absence).
+ALL_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+
+def _transition_latency(record: JobRecord, from_state: str) -> Optional[float]:
+    """Seconds from the latest ``from_state`` entry to the last transition.
+
+    Timestamps are wall-clock (they survive restarts in ``state.json``),
+    so clamp at zero in case the clock stepped backwards between them.
+    """
+    if not record.transitions:
+        return None
+    last = record.transitions[-1]
+    for entry in reversed(record.transitions[:-1]):
+        if entry.get("state") == from_state:
+            try:
+                return max(float(last["at"]) - float(entry["at"]), 0.0)
+            except (KeyError, TypeError, ValueError):
+                return None
+    return None
 
 
 class Scheduler:
@@ -72,6 +100,9 @@ class Scheduler:
         self.workers = workers
         self.max_jobs = max_jobs
         self.telemetry = telemetry or TelemetryRegistry()
+        if store.telemetry is None:
+            store.telemetry = self.telemetry
+        self._started_at = time.monotonic()
         self.queue = JobQueue()
         self._cond = self.queue.condition
         self._free_slots = workers
@@ -205,17 +236,51 @@ class Scheduler:
             self.telemetry.counter("service.jobs_cancelled").inc()
         return record
 
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_at
+
+    def collect(self) -> TelemetryRegistry:
+        """Refresh point-in-time gauges into the registry and return it.
+
+        Counters and histograms accumulate as things happen; gauges
+        (queue depth, slot occupancy, per-state job counts) are derived
+        state, recomputed at observation time so ``/v1/metrics`` and
+        ``/v1/stats`` never expose a stale or phantom value — after
+        :meth:`recover`, the per-state counts reflect the store, not
+        whatever a dead server last believed.
+        """
+        by_state = {state: 0 for state in ALL_STATES}
+        with self._cond:
+            for record in self._records.values():
+                by_state[record.state] = by_state.get(record.state, 0) + 1
+            running = len(self._running)
+            free = self._free_slots
+        telemetry = self.telemetry
+        telemetry.gauge("jobs.queue_depth").set(float(len(self.queue)))
+        telemetry.gauge("jobs.running").set(float(running))
+        for state, count in by_state.items():
+            telemetry.gauge(f"jobs.state.{state}").set(float(count))
+        telemetry.gauge("slots.free").set(float(free))
+        telemetry.gauge("slots.busy").set(float(self.workers - free))
+        telemetry.gauge("slots.total").set(float(self.workers))
+        telemetry.gauge("service.uptime_s").set(self.uptime_s())
+        return telemetry
+
     def stats(self) -> Dict[str, object]:
+        telemetry = self.collect()
         with self._cond:
             running = sorted(self._running)
             free = self._free_slots
         return {
+            "schema": STATS_SCHEMA_VERSION,
+            "version": __version__,
+            "uptime_s": round(self.uptime_s(), 3),
             "workers": self.workers,
             "free_slots": free,
             "max_jobs": self.max_jobs,
             "queued": self.queue.items(),
             "running": running,
-            "telemetry": self.telemetry.snapshot(),
+            "telemetry": telemetry.snapshot(),
         }
 
     def wait_idle(self, timeout: float = 60.0) -> bool:
@@ -275,8 +340,11 @@ class Scheduler:
             job_id, {"kind": "job_started", "job": job_id, "slots": slots}
         )
         self.telemetry.counter("service.jobs_started").inc()
+        wait_s = _transition_latency(record, QUEUED)
+        if wait_s is not None:
+            self.telemetry.histogram("jobs.wait_s").record(wait_s)
 
-        def progress(event: ProgressEvent) -> None:
+        def record_progress(event: ProgressEvent) -> None:
             self.store.append_event(
                 job_id,
                 {
@@ -297,7 +365,7 @@ class Scheduler:
         ctx = JobContext(
             job_dir=job_dir,
             jobs=slots,
-            progress=progress,
+            progress=TelemetryProgress(self.telemetry, inner=record_progress),
             cancel=flag.is_set,
             resolve_job_dir=self.store.job_dir,
         )
@@ -347,4 +415,37 @@ class Scheduler:
                 self._free_slots += slots
                 self._running.pop(job_id, None)
                 self._cancel_flags.pop(job_id, None)
+            run_s = _transition_latency(record, RUNNING)
+            if run_s is not None:
+                self.telemetry.histogram("jobs.run_s").record(run_s)
+            self._snapshot_metrics(record, wait_s=wait_s, run_s=run_s)
             self.queue.kick()
+
+    def _snapshot_metrics(
+        self,
+        record: JobRecord,
+        *,
+        wait_s: Optional[float],
+        run_s: Optional[float],
+    ) -> None:
+        """Write ``metrics.json`` into the settled job's directory.
+
+        The snapshot is the shared service registry (gauges refreshed)
+        plus per-job meta, so batch CLIs read exactly what a scraper of
+        ``GET /v1/metrics`` would have seen at settle time.  Best-effort:
+        a snapshot failure never un-settles a job.
+        """
+        try:
+            registry = self.collect()
+            write_metrics_json(
+                self.store.job_dir(record.id) / METRICS_FILE_NAME,
+                registry,
+                meta={
+                    "job": record.id,
+                    "state": record.state,
+                    "wait_s": wait_s,
+                    "run_s": run_s,
+                },
+            )
+        except Exception:  # noqa: BLE001 - observability must not break settling
+            logger.exception("failed to snapshot metrics for job %s", record.id)

@@ -28,10 +28,12 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..jsonutil import dumps as strict_dumps
+from ..obs.telemetry import TelemetryRegistry
 from .jobs import JobRecord, JobSpec
 
 JOBS_DIR_NAME = "jobs"
@@ -61,10 +63,18 @@ class JobStore:
     HTTP handlers) always see a consistent record.
     """
 
-    def __init__(self, root: "str | Path") -> None:
+    def __init__(
+        self,
+        root: "str | Path",
+        *,
+        telemetry: Optional[TelemetryRegistry] = None,
+    ) -> None:
         self.root = Path(root)
         self.jobs_root = self.root / JOBS_DIR_NAME
         self.jobs_root.mkdir(parents=True, exist_ok=True)
+        #: Optional shared registry; the scheduler injects its own so
+        #: store I/O timings show up in ``GET /v1/metrics``.
+        self.telemetry = telemetry
         self._lock = threading.Lock()
         self._event_locks: Dict[str, threading.Lock] = {}
 
@@ -101,7 +111,12 @@ class JobStore:
         return record
 
     def save(self, record: JobRecord) -> None:
+        start = time.perf_counter()
         _atomic_write_json(self.job_dir(record.id) / STATE_FILE, record.to_dict())
+        if self.telemetry is not None:
+            self.telemetry.histogram("store.save_s").record(
+                time.perf_counter() - start
+            )
 
     def load(self, job_id: str) -> JobRecord:
         path = self.job_dir(job_id) / STATE_FILE
@@ -136,10 +151,18 @@ class JobStore:
     def append_event(self, job_id: str, event: Dict) -> None:
         path = self.job_dir(job_id) / EVENTS_FILE
         line = strict_dumps(event, sort_keys=True) + "\n"
+        start = time.perf_counter()
         with self._event_lock(job_id):
             with path.open("a", encoding="utf-8") as fh:
                 fh.write(line)
                 fh.flush()
+                stream_bytes = fh.tell()
+        if self.telemetry is not None:
+            self.telemetry.histogram("store.append_s").record(
+                time.perf_counter() - start
+            )
+            self.telemetry.counter("store.events_appended").inc()
+            self.telemetry.gauge("store.events_bytes").set(float(stream_bytes))
 
     def read_events(self, job_id: str, offset: int = 0) -> Tuple[List[str], int]:
         """Complete event lines from byte ``offset``; returns (lines, next).
@@ -153,13 +176,25 @@ class JobStore:
         with path.open("rb") as fh:
             fh.seek(offset)
             blob = fh.read()
+            end = fh.tell()
         if not blob:
+            self._record_lag(end, offset)
             return [], offset
         complete, _, partial = blob.rpartition(b"\n")
         if not complete and partial:
+            self._record_lag(end, offset)
             return [], offset
         lines = complete.decode("utf-8").splitlines()
-        return lines, offset + len(complete) + 1
+        next_offset = offset + len(complete) + 1
+        self._record_lag(end, next_offset)
+        return lines, next_offset
+
+    def _record_lag(self, stream_end: int, consumed: int) -> None:
+        """Gauge how far the slowest-observed reader trails the stream."""
+        if self.telemetry is not None:
+            self.telemetry.gauge("store.read_lag_bytes").set(
+                float(max(stream_end - consumed, 0))
+            )
 
     def write_error(self, job_id: str, text: str) -> None:
         (self.job_dir(job_id) / ERROR_FILE).write_text(text)

@@ -152,6 +152,18 @@ class TestTail:
     def test_tail_no_traces(self, tmp_path, capsys):
         assert main(["tail", str(tmp_path)]) == 1
 
+    def test_tail_resolves_service_job_dir(self, tmp_path, capsys):
+        # A service job directory is marked by job.json; its traces live
+        # in trace/ and search/ sub-trees.  Tail must find them there —
+        # this used to exit 1 with "no run traces found".
+        job_dir = tmp_path / "j000001"
+        (job_dir / "search").mkdir(parents=True)
+        job_dir.joinpath("job.json").write_text(json.dumps({"id": "j000001"}))
+        _write_trace(job_dir / "search", name="falsify")
+        assert main(["tail", str(job_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "iteration_started" in out
+
     def test_tail_follow_picks_up_appended_events(
         self, tmp_path, capsys, monkeypatch
     ):

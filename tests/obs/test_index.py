@@ -1,0 +1,240 @@
+"""The cross-run trace index: rows, refresh, queries, verification."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.campaign import execute_suite
+from repro.obs.index import (
+    DETERMINISTIC_FIELDS,
+    INDEX_FILE_NAME,
+    filter_rows,
+    format_rows,
+    group_rows,
+    index_rows,
+    parse_where,
+    refresh_index,
+    sort_rows,
+    verify_index,
+)
+from repro.sim.scenario import ScenarioType
+
+
+@pytest.fixture(scope="module")
+def traced_campaign(tmp_path_factory):
+    """One small traced campaign, shared by the read-only tests."""
+    trace = tmp_path_factory.mktemp("campaign") / "trace"
+    execute_suite(
+        (ScenarioType.NOMINAL, ScenarioType.PEDESTRIAN),
+        (0, 1),
+        jobs=1,
+        progress=None,
+        trace=trace,
+    )
+    return trace
+
+
+def deterministic(rows):
+    return [{c: row.get(c) for c in DETERMINISTIC_FIELDS} for row in rows]
+
+
+class TestRows:
+    def test_one_row_per_run_with_recomputed_counts(self, traced_campaign):
+        rows = index_rows(refresh_index(traced_campaign, write=False))
+        assert len(rows) == 4
+        assert {row["scenario"] for row in rows} == {
+            "nominal", "pedestrian_crossing"
+        }
+        assert {row["seed"] for row in rows} == {0, 1}
+        for row in rows:
+            assert row["iterations"] > 0
+            assert isinstance(row["rho"], float)
+            assert row["violations"] == sum(row["violations_by_role"].values())
+
+    def test_rho_sourced_from_footer_extras(self, traced_campaign):
+        rows = index_rows(refresh_index(traced_campaign, write=False))
+        bad = [r for r in rows if r["scenario"] == "pedestrian_crossing" and r["seed"] == 0]
+        assert bad and bad[0]["rho"] < 0  # the pinned collision scenario
+
+    def test_rows_deterministic_across_jobs(self, tmp_path):
+        outputs = {}
+        for jobs in (1, 4):
+            trace = tmp_path / f"jobs{jobs}" / "trace"
+            execute_suite(
+                (ScenarioType.NOMINAL, ScenarioType.PEDESTRIAN),
+                (0, 1),
+                jobs=jobs,
+                progress=None,
+                trace=trace,
+            )
+            rows = deterministic(index_rows(refresh_index(trace)))
+            outputs[jobs] = format_rows(rows, "json")
+        assert outputs[1] == outputs[4]  # byte-identical, the PR contract
+
+
+class TestRefresh:
+    def test_incremental_refresh_skips_unchanged_files(self, traced_campaign):
+        first = refresh_index(traced_campaign)
+        assert first["stats"]["parsed"] > 0
+        second = refresh_index(traced_campaign)
+        assert second["stats"]["parsed"] == 0
+        assert index_rows(first) == index_rows(second)
+
+    def test_changed_file_is_reparsed(self, tmp_path):
+        trace = tmp_path / "trace"
+        execute_suite(
+            (ScenarioType.NOMINAL,), (0,), jobs=1, progress=None, trace=trace
+        )
+        refresh_index(trace)
+        (target,) = sorted((trace / "units").glob("*.trace.jsonl"))
+        target.write_bytes(target.read_bytes() + b"\n")
+        os.utime(target, (0, 0))  # force a (size, mtime) change either way
+        again = refresh_index(trace)
+        assert again["stats"]["parsed"] == 1
+
+    def test_corrupt_previous_index_triggers_full_rebuild(self, tmp_path):
+        trace = tmp_path / "trace"
+        execute_suite(
+            (ScenarioType.NOMINAL,), (0,), jobs=1, progress=None, trace=trace
+        )
+        index_path = trace / INDEX_FILE_NAME
+        index_path.write_text("not json at all")
+        rebuilt = refresh_index(trace)
+        assert rebuilt["stats"]["parsed"] > 0
+        assert index_rows(rebuilt)
+
+
+class TestQuery:
+    def test_where_equality_and_comparison(self, traced_campaign):
+        rows = index_rows(refresh_index(traced_campaign, write=False))
+        nominal = filter_rows(rows, [parse_where("scenario=nominal")])
+        assert {r["scenario"] for r in nominal} == {"nominal"}
+        falsified = filter_rows(rows, [parse_where("rho<0")])
+        assert all(r["rho"] < 0 for r in falsified)
+        assert falsified  # the pedestrian collision run
+        both = filter_rows(
+            rows, [parse_where("scenario=pedestrian_crossing"), parse_where("seed>=1")]
+        )
+        assert [(r["scenario"], r["seed"]) for r in both] == [
+            ("pedestrian_crossing", 1)
+        ]
+
+    def test_where_alias_and_bad_expression(self, traced_campaign):
+        rows = index_rows(refresh_index(traced_campaign, write=False))
+        assert filter_rows(rows, [parse_where("robustness<0")]) == filter_rows(
+            rows, [parse_where("rho<0")]
+        )
+        with pytest.raises(ValueError, match="bad --where"):
+            parse_where("just-not-a-clause")
+
+    def test_group_by_scenario(self, traced_campaign):
+        rows = index_rows(refresh_index(traced_campaign, write=False))
+        groups = group_rows(rows, "scenario")
+        by_name = {g["scenario"]: g for g in groups}
+        assert by_name["nominal"]["runs"] == 2
+        assert by_name["pedestrian_crossing"]["violations"] > 0
+        assert by_name["pedestrian_crossing"]["rho_min"] < 0
+        total = sum(g["runs"] for g in groups)
+        assert total == len(rows)
+
+    def test_sort_rows(self, traced_campaign):
+        rows = index_rows(refresh_index(traced_campaign, write=False))
+        ascending = [r["rho"] for r in sort_rows(list(rows), "rho")]
+        assert ascending == sorted(ascending)
+        descending = [r["rho"] for r in sort_rows(list(rows), "-rho")]
+        assert descending == sorted(descending, reverse=True)
+
+    def test_formats(self, traced_campaign):
+        rows = deterministic(index_rows(refresh_index(traced_campaign, write=False)))
+        table = format_rows(rows, "table")
+        assert "scenario" in table.splitlines()[0]
+        parsed = json.loads(format_rows(rows, "json"))
+        assert len(parsed) == len(rows)
+        csv_text = format_rows(rows, "csv")
+        assert csv_text.splitlines()[0].startswith("job,")
+        assert len(csv_text.splitlines()) == len(rows) + 1
+        with pytest.raises(ValueError, match="unknown format"):
+            format_rows(rows, "yaml")
+
+
+class TestVerify:
+    def test_clean_index_verifies(self, tmp_path):
+        trace = tmp_path / "trace"
+        execute_suite(
+            (ScenarioType.NOMINAL,), (0,), jobs=1, progress=None, trace=trace
+        )
+        refresh_index(trace)
+        ok, problems = verify_index(trace)
+        assert ok, problems
+
+    def test_tampered_index_row_fails(self, tmp_path):
+        trace = tmp_path / "trace"
+        execute_suite(
+            (ScenarioType.NOMINAL,), (0,), jobs=1, progress=None, trace=trace
+        )
+        refresh_index(trace)
+        index_path = trace / INDEX_FILE_NAME
+        data = json.loads(index_path.read_text())
+        for entry in data["files"].values():
+            if entry.get("kind") == "run":
+                entry["row"]["violations"] = 999
+        index_path.write_text(json.dumps(data))
+        ok, problems = verify_index(trace)
+        assert not ok
+        assert any("diverges" in p for p in problems)
+
+    def test_stale_index_fails_on_new_files(self, tmp_path):
+        trace = tmp_path / "trace"
+        execute_suite(
+            (ScenarioType.NOMINAL,), (0,), jobs=1, progress=None, trace=trace
+        )
+        refresh_index(trace)
+        execute_suite(
+            (ScenarioType.NOMINAL,), (0, 1), jobs=1, progress=None, trace=trace
+        )
+        ok, problems = verify_index(trace)
+        assert not ok
+        assert any("not indexed" in p for p in problems)
+
+    def test_missing_index_fails(self, tmp_path):
+        trace = tmp_path / "trace"
+        execute_suite(
+            (ScenarioType.NOMINAL,), (0,), jobs=1, progress=None, trace=trace
+        )
+        ok, problems = verify_index(trace)
+        assert not ok and "no index" in problems[0]
+
+
+class TestCli:
+    def test_query_and_verify_exit_codes(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        trace = tmp_path / "trace"
+        execute_suite(
+            (ScenarioType.NOMINAL,), (0,), jobs=1, progress=None, trace=trace
+        )
+        assert main(["query", str(trace), "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and rows[0]["scenario"] == "nominal"
+        assert "wall_s" not in rows[0]  # timing excluded by default
+        assert main(["query", str(trace), "--verify"]) == 0
+        capsys.readouterr()
+        index_path = trace / INDEX_FILE_NAME
+        data = json.loads(index_path.read_text())
+        for entry in data["files"].values():
+            if entry.get("kind") == "run":
+                entry["row"]["iterations"] += 1
+        index_path.write_text(json.dumps(data))
+        assert main(["query", str(trace), "--verify"]) == 2
+
+    def test_query_timing_flag_adds_columns(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        trace = tmp_path / "trace"
+        execute_suite(
+            (ScenarioType.NOMINAL,), (0,), jobs=1, progress=None, trace=trace
+        )
+        assert main(["query", str(trace), "--timing", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert "wall_s" in rows[0] and rows[0]["wall_s"] > 0
