@@ -1,0 +1,31 @@
+"""Pluggable executor backends for the campaign engine.
+
+``repro.dist`` splits *where work runs* out of
+:class:`~repro.exec.engine.CampaignEngine`:
+
+* :mod:`repro.dist.backend` — the :class:`~repro.dist.backend.ExecutorBackend`
+  interface and the :func:`~repro.dist.backend.create_backend` factory;
+* :mod:`repro.dist.local` — the reference single-host backend (forked
+  process pool / serial fallback, formerly inlined in the engine);
+* :mod:`repro.dist.spool` — the durable on-disk work queue (task files,
+  exclusive claim files, heartbeats, per-host outcome journals);
+* :mod:`repro.dist.queue` — the multi-host backend: N worker processes
+  fed from a spool, with lease expiry, reclaim, poison quarantine and
+  exactly-once outcome settlement;
+* :mod:`repro.dist.worker` — the worker loop behind
+  ``python -m repro.dist worker``.
+"""
+
+from .backend import (
+    BACKEND_CHOICES,
+    ExecutionContext,
+    ExecutorBackend,
+    create_backend,
+)
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "ExecutionContext",
+    "ExecutorBackend",
+    "create_backend",
+]

@@ -1,0 +1,82 @@
+"""``python -m repro.dist`` — host worker entrypoint and spool audit.
+
+``worker`` is what the :class:`~repro.dist.queue.QueueBackend` spawns,
+one process per simulated host; it can equally be started by hand
+against a shared spool directory.  ``audit`` prints the spool's
+self-certification summary (per-host outcome counts, exactly-once
+check, quarantine) as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import Optional, Sequence
+
+from ..jsonutil import dumps as strict_dumps
+from .spool import audit_spool
+from .worker import run_worker
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dist",
+        description="distributed execution: host workers and spool audit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    worker = sub.add_parser("worker", help="run one host worker against a spool")
+    worker.add_argument("--spool", required=True, help="spool directory")
+    worker.add_argument("--host", required=True, help="host name (e.g. host0)")
+    worker.add_argument(
+        "--poll-s", type=float, default=0.05, help="idle poll interval"
+    )
+    worker.add_argument(
+        "--heartbeat-s", type=float, default=0.5, help="heartbeat interval"
+    )
+    worker.add_argument(
+        "--once",
+        action="store_true",
+        help="process at most one task, then exit (protocol testing)",
+    )
+    worker.add_argument(
+        "--main-alias",
+        default=None,
+        metavar="MODULE",
+        help="alias __main__ to MODULE so tasks pickled by a coordinator "
+        "run as `python -m MODULE` unpickle here",
+    )
+    worker.add_argument("--log-level", default="INFO")
+
+    audit = sub.add_parser("audit", help="print a spool audit as JSON")
+    audit.add_argument("spool", help="spool directory")
+
+    args = parser.parse_args(argv)
+    if args.command == "worker":
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper(), logging.INFO),
+            format=f"%(asctime)s {args.host} %(levelname)s %(message)s",
+        )
+        executed = run_worker(
+            args.spool,
+            args.host,
+            poll_s=args.poll_s,
+            heartbeat_s=args.heartbeat_s,
+            once=args.once,
+            main_alias=args.main_alias,
+        )
+        logging.info("worker %s drained: %d task(s) executed", args.host, executed)
+        return 0
+    if args.command == "audit":
+        summary = audit_spool(args.spool)
+        try:
+            print(strict_dumps(summary, indent=2, sort_keys=True))
+        except BrokenPipeError:  # e.g. piped into `head`
+            pass
+        return 1 if summary["journal_duplicate_keys"] else 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

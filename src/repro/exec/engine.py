@@ -1,9 +1,16 @@
-"""The campaign execution engine: sharded process-pool task running.
+"""The campaign execution engine: sharded task running over a backend.
 
 :class:`CampaignEngine` turns a list of :class:`~repro.exec.work.WorkUnit`
-into settled :class:`TaskRecord` results on a ``ProcessPoolExecutor``
-(forked workers), with a deterministic in-process fallback for ``jobs=1``
-and for platforms without ``fork``.  Guarantees, regardless of mode:
+into settled :class:`TaskRecord` results.  The engine owns campaign
+*semantics* — unit identity, journaling/resume, tracing, progress, the
+summary — and delegates *execution* to an
+:class:`~repro.dist.backend.ExecutorBackend` (default: the
+:class:`~repro.dist.local.LocalPoolBackend`, a ``ProcessPoolExecutor``
+of forked workers with a deterministic in-process fallback for
+``jobs=1`` and for platforms without ``fork``; ``--backend queue``
+distributes units to separate host processes via
+:class:`~repro.dist.queue.QueueBackend`).  Guarantees, regardless of
+backend or mode:
 
 * **order independence** — records come back in unit order, and each task
   derives everything from its own payload, so ``jobs=N`` equals ``jobs=1``
@@ -32,11 +39,18 @@ import os
 import signal
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..obs.profile import (
     ENGINE_PROFILE_NAME,
@@ -48,7 +62,7 @@ from ..obs.profile import (
 )
 from ..obs.telemetry import TelemetryRegistry
 from ..obs.trace import EngineTracer
-from .blocks import execute_block, plan_blocks
+from .blocks import execute_block
 from .journal import RunJournal, check_spec_fingerprint, load_journal
 from .progress import (
     CAMPAIGN_FINISHED,
@@ -61,6 +75,9 @@ from .progress import (
     default_progress_hook,
 )
 from .work import WorkUnit, check_unique_keys, fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - avoid an exec <-> dist import cycle
+    from ..dist.backend import ExecutorBackend
 
 
 class TaskTimeout(Exception):
@@ -297,6 +314,13 @@ class CampaignEngine:
             (journaled tasks survive, so a ``resume`` run continues from
             the cancellation point).  The long-lived service uses this as
             its job-cancellation hook.
+        backend: an :class:`~repro.dist.backend.ExecutorBackend` that
+            runs the pending units.  ``None`` (default) builds a
+            per-run :class:`~repro.dist.local.LocalPoolBackend` — the
+            historical single-host behaviour.  Caller-supplied backends
+            are never closed by the engine, so one long-lived backend
+            (e.g. a :class:`~repro.dist.queue.QueueBackend` with its
+            worker fleet) can serve many campaigns.
     """
 
     def __init__(
@@ -315,6 +339,7 @@ class CampaignEngine:
         spec_fingerprint: Optional[str] = None,
         cancel: Optional[Callable[[], bool]] = None,
         block_fn: Optional[Callable[[Any], Any]] = None,
+        backend: "Optional[ExecutorBackend]" = None,
     ) -> None:
         self.fn = fn
         # Optional block worker (``__block_worker__ = True``): runs a whole
@@ -322,6 +347,7 @@ class CampaignEngine:
         # execution (and retry fallback) always uses ``fn``.
         self.block_fn = block_fn
         self.policy = policy or EnginePolicy()
+        self.backend = backend
         self.encode = encode or (lambda value: value)
         self.decode = decode or (lambda value: value)
         self.journal_path = Path(journal) if journal is not None else None
@@ -350,12 +376,18 @@ class CampaignEngine:
         started = time.perf_counter()
 
         records: Dict[str, TaskRecord] = {}
-        use_pool = self.policy.jobs > 1 and _fork_available()
-        summary = CampaignSummary(
-            total=len(units),
-            jobs=self.policy.jobs if use_pool else 1,
-            mode="process-pool" if use_pool else "serial",
-        )
+        # Imported here, not at module top: the dist package imports the
+        # engine's task/record types, so a top-level import would cycle.
+        from ..dist.backend import ExecutionContext
+
+        backend = self.backend
+        owned = backend is None
+        if backend is None:
+            from ..dist.local import LocalPoolBackend
+
+            backend = LocalPoolBackend()
+        mode, jobs = backend.plan(self.policy)
+        summary = CampaignSummary(total=len(units), jobs=jobs, mode=mode)
         if self.trace_dir is not None:
             self._tracer = EngineTracer(self.trace_dir)
             self._tracer.campaign_started(len(units), summary.jobs, summary.mode)
@@ -382,20 +414,31 @@ class CampaignEngine:
         pending = [u for u in units if u.key not in records]
 
         try:
-            settle = self._make_settler(records, journal, summary, len(units), started)
-            if (
-                pending
-                and self.policy.block_size > 1
-                and self.hotspot_top_n == 0
-            ):
-                # Hotspot capture stays per-unit: its cProfile files are
-                # keyed by unit, which block dispatch cannot honour.
-                pending = self._run_blocks(pending, settle, use_pool)
             if pending:
-                if use_pool:
-                    self._run_pool(pending, settle, summary)
-                else:
-                    self._run_serial(pending, settle, summary)
+                ctx = ExecutionContext(
+                    fn=self.fn,
+                    block_fn=self.block_fn,
+                    policy=self.policy,
+                    settle=self._make_settler(
+                        records, journal, summary, len(units), started
+                    ),
+                    check_cancelled=self._check_cancelled,
+                    record_retry=self._make_retry_recorder(summary),
+                    sleep=self._sleep,
+                    cancellable=self.cancel is not None,
+                    profiler=self._profiler,
+                    hotspot_spec=(
+                        self._hotspot_spec if self.hotspot_top_n > 0 else None
+                    ),
+                    encode=self.encode,
+                    decode=self.decode,
+                    telemetry=(
+                        self._tracer.telemetry if self._tracer is not None else None
+                    ),
+                    trace_dir=self.trace_dir,
+                    journal_path=self.journal_path,
+                )
+                backend.execute(pending, ctx)
         except BaseException:
             # Cancellation (or a crash) must not leak open trace handles
             # in a long-lived server; settled tasks are already journaled.
@@ -404,6 +447,8 @@ class CampaignEngine:
         finally:
             if journal is not None:
                 journal.close()
+            if owned:
+                backend.close()
 
         summary.wall_time_s = time.perf_counter() - started
         self._emit(
@@ -566,8 +611,23 @@ class CampaignEngine:
             )
         )
 
-    def _backoff(self, attempts: int) -> float:
-        return self.policy.retry_backoff_s * (2 ** (attempts - 1))
+    def _make_retry_recorder(
+        self, summary: CampaignSummary
+    ) -> Callable[[str, int], None]:
+        """Backends report each retry here; the engine counts and traces it."""
+
+        def record_retry(key: str, attempts: int) -> None:
+            summary.retries += 1
+            self._emit(
+                ProgressEvent(
+                    kind=TASK_RETRY,
+                    total=summary.total,
+                    key=key,
+                    attempts=attempts,
+                )
+            )
+
+        return record_retry
 
     def _hotspot_spec(self, unit: WorkUnit) -> "Optional[Tuple[str, str, int]]":
         if self.hotspot_top_n <= 0:
@@ -585,339 +645,3 @@ class CampaignEngine:
             with self._profiler.phase("engine.retry_wait"):
                 time.sleep(seconds)
 
-    def _error_record(
-        self, unit: WorkUnit, attempts: int, exc: BaseException, elapsed_s: float
-    ) -> TaskRecord:
-        error = TaskError(
-            key=unit.key,
-            error_type=type(exc).__name__,
-            message=str(exc) or repr(exc),
-            attempts=attempts,
-        )
-        return TaskRecord(
-            key=unit.key,
-            status="error",
-            attempts=attempts,
-            elapsed_s=elapsed_s,
-            error=error,
-        )
-
-    # ------------------------------------------------------------------
-    # block execution (block_size > 1)
-    # ------------------------------------------------------------------
-    def _block_timeout(self, size: int) -> Optional[float]:
-        if self.policy.timeout_s is None:
-            return None
-        return self.policy.timeout_s * size
-
-    def _settle_block_outcomes(
-        self,
-        block: Sequence[WorkUnit],
-        outcomes: Any,
-        worker: str,
-        settle: Callable[[TaskRecord], None],
-        leftovers: List[WorkUnit],
-    ) -> None:
-        """Settle a block's successes; queue everything else for per-unit runs."""
-        by_key = {o.key: o for o in outcomes}
-        for unit in block:
-            outcome = by_key.get(unit.key)
-            if outcome is None or not outcome.ok:
-                leftovers.append(unit)
-                continue
-            if self._profiler is not None:
-                self._profiler.record("engine.worker_run", outcome.elapsed_s)
-            settle(
-                TaskRecord(
-                    key=unit.key,
-                    status="ok",
-                    attempts=1,
-                    elapsed_s=outcome.elapsed_s,
-                    worker=worker,
-                    result=outcome.result,
-                )
-            )
-
-    def _run_blocks(
-        self,
-        pending: Sequence[WorkUnit],
-        settle: Callable[[TaskRecord], None],
-        use_pool: bool,
-    ) -> List[WorkUnit]:
-        """Dispatch pending units in blocks; return units still needing
-        per-unit execution (in-block failures, dead/timed-out blocks)."""
-        blocks = plan_blocks(pending, self.policy.block_size)
-        leftovers: List[WorkUnit] = []
-        if use_pool:
-            self._run_blocks_pool(blocks, settle, leftovers)
-        else:
-            self._run_blocks_serial(blocks, settle, leftovers)
-        return leftovers
-
-    def _run_blocks_serial(
-        self,
-        blocks: Sequence[Sequence[WorkUnit]],
-        settle: Callable[[TaskRecord], None],
-        leftovers: List[WorkUnit],
-    ) -> None:
-        for block in blocks:
-            self._check_cancelled()
-            worker = self.block_fn if self.block_fn is not None else self.fn
-            payload = (worker, [(u.key, u.payload) for u in block])
-            try:
-                outcomes = _call_with_deadline(
-                    execute_block, payload, self._block_timeout(len(block))
-                )
-            except Exception:  # noqa: BLE001 - block fails over to per-unit
-                leftovers.extend(block)
-                continue
-            self._settle_block_outcomes(block, outcomes, "main", settle, leftovers)
-
-    def _run_blocks_pool(
-        self,
-        blocks: Sequence[Sequence[WorkUnit]],
-        settle: Callable[[TaskRecord], None],
-        leftovers: List[WorkUnit],
-    ) -> None:
-        """One-shot block fan-out: no block-level retries, no pool rebuild.
-
-        Any block that fails wholesale (timeout, dead worker, broken pool)
-        just drains its members into ``leftovers``; the caller's per-unit
-        pool path owns retries and pool recovery.
-        """
-        context = multiprocessing.get_context("fork")
-        executor = ProcessPoolExecutor(
-            max_workers=self.policy.jobs, mp_context=context
-        )
-        in_flight: "Dict[Future, Sequence[WorkUnit]]" = {}
-        profiler = self._profiler
-
-        def submit(block: Sequence[WorkUnit]) -> None:
-            worker = self.block_fn if self.block_fn is not None else self.fn
-            payload = (worker, [(u.key, u.payload) for u in block])
-            timeout_s = self._block_timeout(len(block))
-            if profiler is not None:
-                import pickle
-
-                with profiler.phase("engine.pickle"):
-                    pickle.dumps(payload)
-                with profiler.phase("engine.dispatch"):
-                    future = executor.submit(_block_entry, payload, timeout_s)
-            else:
-                future = executor.submit(_block_entry, payload, timeout_s)
-            in_flight[future] = block
-
-        try:
-            for block in blocks:
-                submit(block)
-            while in_flight:
-                self._check_cancelled()
-                timeout = 0.25 if self.cancel is not None else None
-                done, _ = wait(
-                    list(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
-                )
-                pool_broken = False
-                for future in done:
-                    block = in_flight.pop(future)
-                    try:
-                        outcomes, worker = future.result()
-                    except BrokenProcessPool:
-                        pool_broken = True
-                        leftovers.extend(block)
-                    except Exception:  # noqa: BLE001 - fails over to per-unit
-                        leftovers.extend(block)
-                    else:
-                        self._settle_block_outcomes(
-                            block, outcomes, worker, settle, leftovers
-                        )
-                if pool_broken:
-                    # The remaining futures are doomed with the pool; drain
-                    # every unsettled block to the per-unit path, which
-                    # builds a fresh pool of its own.
-                    for block in in_flight.values():
-                        leftovers.extend(block)
-                    in_flight.clear()
-        finally:
-            executor.shutdown(wait=True, cancel_futures=True)
-
-    # ------------------------------------------------------------------
-    # serial (in-process) execution
-    # ------------------------------------------------------------------
-    def _run_serial(
-        self,
-        pending: Sequence[WorkUnit],
-        settle: Callable[[TaskRecord], None],
-        summary: CampaignSummary,
-    ) -> None:
-        for unit in pending:
-            self._check_cancelled()
-            attempts = 0
-            while True:
-                attempts += 1
-                attempt_started = time.perf_counter()
-                try:
-                    result, worker, elapsed = _task_entry(
-                        self.fn, unit.payload, self.policy.timeout_s,
-                        self._hotspot_spec(unit),
-                    )
-                except Exception as exc:  # noqa: BLE001 - tasks are user code
-                    elapsed = time.perf_counter() - attempt_started
-                    if attempts <= self.policy.max_retries:
-                        summary.retries += 1
-                        self._emit(
-                            ProgressEvent(
-                                kind=TASK_RETRY,
-                                total=summary.total,
-                                key=unit.key,
-                                attempts=attempts,
-                            )
-                        )
-                        self._sleep(self._backoff(attempts))
-                        continue
-                    settle(self._error_record(unit, attempts, exc, elapsed))
-                    break
-                if self._profiler is not None:
-                    # Executed successes only, so the count matches the
-                    # pool path and jobs=1 vs jobs=N stays comparable.
-                    self._profiler.record("engine.worker_run", elapsed)
-                settle(
-                    TaskRecord(
-                        key=unit.key,
-                        status="ok",
-                        attempts=attempts,
-                        elapsed_s=elapsed,
-                        worker="main",
-                        result=result,
-                    )
-                )
-                break
-
-    # ------------------------------------------------------------------
-    # process-pool execution
-    # ------------------------------------------------------------------
-    def _run_pool(
-        self,
-        pending: Sequence[WorkUnit],
-        settle: Callable[[TaskRecord], None],
-        summary: CampaignSummary,
-    ) -> None:
-        policy = self.policy
-        context = multiprocessing.get_context("fork")
-        executor = ProcessPoolExecutor(
-            max_workers=policy.jobs, mp_context=context
-        )
-        in_flight: Dict[Future, Tuple[WorkUnit, int]] = {}
-        retry_queue: List[Tuple[float, WorkUnit, int]] = []  # (due, unit, attempts)
-
-        profiler = self._profiler
-
-        def submit(unit: WorkUnit, attempts: int) -> None:
-            if profiler is not None:
-                # The executor pickles the call in a feeder thread where it
-                # cannot be observed; measure an equivalent payload dump
-                # here so serialization cost shows up in the breakdown.
-                import pickle
-
-                with profiler.phase("engine.pickle"):
-                    pickle.dumps(unit.payload)
-                with profiler.phase("engine.dispatch"):
-                    future = executor.submit(
-                        _task_entry, self.fn, unit.payload, policy.timeout_s,
-                        self._hotspot_spec(unit),
-                    )
-            else:
-                future = executor.submit(
-                    _task_entry, self.fn, unit.payload, policy.timeout_s,
-                    self._hotspot_spec(unit),
-                )
-            in_flight[future] = (unit, attempts)
-
-        def retry_or_fail(unit: WorkUnit, attempts: int, exc: BaseException) -> None:
-            if attempts <= policy.max_retries:
-                summary.retries += 1
-                self._emit(
-                    ProgressEvent(
-                        kind=TASK_RETRY,
-                        total=summary.total,
-                        key=unit.key,
-                        attempts=attempts,
-                    )
-                )
-                retry_queue.append(
-                    (time.monotonic() + self._backoff(attempts), unit, attempts)
-                )
-            else:
-                settle(self._error_record(unit, attempts, exc, 0.0))
-
-        try:
-            for unit in pending:
-                submit(unit, 0)
-            while in_flight or retry_queue:
-                self._check_cancelled()
-                now = time.monotonic()
-                due = [entry for entry in retry_queue if entry[0] <= now]
-                retry_queue = [entry for entry in retry_queue if entry[0] > now]
-                for _, unit, attempts in due:
-                    submit(unit, attempts)
-                if not in_flight:
-                    if retry_queue:
-                        self._sleep(
-                            max(0.0, min(e[0] for e in retry_queue) - time.monotonic())
-                        )
-                    continue
-                timeout = None
-                if retry_queue:
-                    timeout = max(0.0, min(e[0] for e in retry_queue) - now)
-                if self.cancel is not None:
-                    # Wake periodically so a cancellation is observed even
-                    # while every in-flight task is still running.
-                    timeout = 0.25 if timeout is None else min(timeout, 0.25)
-                done, _ = wait(
-                    list(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
-                )
-                pool_broken = False
-                for future in done:
-                    unit, attempts = in_flight.pop(future)
-                    attempts += 1
-                    try:
-                        result, worker, elapsed = future.result()
-                    except BrokenProcessPool as exc:
-                        pool_broken = True
-                        retry_or_fail(unit, attempts, exc)
-                    except Exception as exc:  # noqa: BLE001 - tasks are user code
-                        retry_or_fail(unit, attempts, exc)
-                    else:
-                        if profiler is not None:
-                            profiler.record("engine.worker_run", elapsed)
-                        settle(
-                            TaskRecord(
-                                key=unit.key,
-                                status="ok",
-                                attempts=attempts,
-                                elapsed_s=elapsed,
-                                worker=worker,
-                                result=result,
-                            )
-                        )
-                if pool_broken:
-                    # Every other in-flight future is doomed too: fail them
-                    # over to the retry path and rebuild the pool.
-                    executor.shutdown(wait=True, cancel_futures=True)
-                    stranded = list(in_flight.items())
-                    in_flight.clear()
-                    executor = ProcessPoolExecutor(
-                        max_workers=policy.jobs, mp_context=context
-                    )
-                    for _, (unit, attempts) in stranded:
-                        retry_or_fail(
-                            unit,
-                            attempts + 1,
-                            BrokenProcessPool("worker process died"),
-                        )
-        finally:
-            # wait=True releases the executor's wakeup pipe cleanly; with
-            # wait=False the interpreter's atexit hook can hit the
-            # already-closed fd ("Exception ignored ... Bad file
-            # descriptor").  All futures are settled on the normal path,
-            # so joining the workers is immediate.
-            executor.shutdown(wait=True, cancel_futures=True)

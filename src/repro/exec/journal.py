@@ -90,31 +90,41 @@ class JournalState:
 
 
 def load_journal(path: "str | Path") -> JournalState:
-    """Parse a journal, skipping unparseable (e.g. truncated) lines."""
+    """Parse a journal, skipping unparseable (e.g. truncated) lines.
+
+    Reads bytes and considers complete (newline-terminated) lines only,
+    the same way the service store reads its event log: a ``kill -9``
+    mid-append leaves a torn final line — possibly split *inside* a
+    multi-byte UTF-8 sequence, which a text-mode read would raise on —
+    and that tail counts as one corrupt line instead of poisoning the
+    resume.
+    """
     state = JournalState()
     path = Path(path)
     if not path.exists():
         return state
-    with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                state.corrupt_lines += 1
-                continue
-            if not isinstance(record, dict):
-                state.corrupt_lines += 1
-                continue
-            kind = record.get("kind")
-            if kind == HEADER_KIND:
-                state.header = record
-            elif kind == TASK_KIND and isinstance(record.get("key"), str):
-                state.tasks[record["key"]] = record
-            else:
-                state.corrupt_lines += 1
+    blob = path.read_bytes()
+    complete, _, torn = blob.rpartition(b"\n")
+    if torn.strip():
+        state.corrupt_lines += 1
+    for raw in complete.split(b"\n"):
+        if not raw.strip():
+            continue
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            state.corrupt_lines += 1
+            continue
+        if not isinstance(record, dict):
+            state.corrupt_lines += 1
+            continue
+        kind = record.get("kind")
+        if kind == HEADER_KIND:
+            state.header = record
+        elif kind == TASK_KIND and isinstance(record.get("key"), str):
+            state.tasks[record["key"]] = record
+        else:
+            state.corrupt_lines += 1
     return state
 
 

@@ -555,6 +555,9 @@ def execute_suite(
     profile: "str | Path | None" = None,
     hotspot_top_n: int = 0,
     cancel: Optional[Callable[[], bool]] = None,
+    backend: "str | Any | None" = None,
+    hosts: int = 0,
+    spool: "str | Path | None" = None,
 ) -> "Tuple[Dict[ScenarioType, List[RunOutcome]], ExecutionReport]":
     """Run the campaign on the execution engine; return results + telemetry.
 
@@ -580,12 +583,29 @@ def execute_suite(
     ``<profile>/profile.json`` (``python -m repro.obs profile <profile>``
     renders it).  ``hotspot_top_n`` > 0 additionally captures per-run
     cProfile hotspots.
+
+    ``backend`` selects where the runs execute: ``None``/``"local"`` is
+    the historical single-host pool, ``"queue"`` shards the campaign
+    over ``hosts`` worker processes fed from the on-disk ``spool``
+    directory (an ephemeral temp spool when unset) — results and the
+    canonical report stay byte-identical either way.  An
+    :class:`~repro.dist.backend.ExecutorBackend` instance passes
+    through as-is (and is *not* closed here — the caller owns it).
     """
     units = [
         campaign_unit(scenario_type, seed, options, trace_dir=trace, profile_dir=profile)
         for scenario_type in scenario_types
         for seed in seeds
     ]
+    owned_backend = None
+    if isinstance(backend, str) and backend != "local":
+        from ..dist.backend import create_backend
+
+        backend = owned_backend = create_backend(
+            backend, hosts=hosts or jobs, spool=spool
+        )
+    elif backend == "local":
+        backend = None
     engine = CampaignEngine(
         execute_campaign_unit,
         EnginePolicy(
@@ -604,8 +624,13 @@ def execute_suite(
         hotspot_top_n=hotspot_top_n,
         spec_fingerprint=campaign_spec_fingerprint(options),
         cancel=cancel,
+        backend=backend,
     )
-    report = engine.run(units).raise_on_error()
+    try:
+        report = engine.run(units).raise_on_error()
+    finally:
+        if owned_backend is not None:
+            owned_backend.close()
     outcomes = report.results()
     results: Dict[ScenarioType, List[RunOutcome]] = {}
     cursor = 0
@@ -704,6 +729,23 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "the top N functions by cumulative time (0 disables)",
     )
     parser.add_argument(
+        "--backend", default="local", choices=("local", "queue"),
+        help="executor backend: 'local' runs in this process (pool for "
+        "--jobs > 1), 'queue' shards runs over --hosts worker processes "
+        "fed from an on-disk work queue; reports are byte-identical",
+    )
+    parser.add_argument(
+        "--hosts", type=int, default=0, metavar="N",
+        help="with --backend queue: worker process count (0 = --jobs)",
+    )
+    parser.add_argument(
+        "--spool", type=Path, default=None, metavar="DIR",
+        help="with --backend queue: durable spool directory (claims, "
+        "heartbeats, per-host outcome journals; auditable with "
+        "`python -m repro.obs summarize DIR`); default is an ephemeral "
+        "temp spool",
+    )
+    parser.add_argument(
         "--log-level",
         default="WARNING",
         choices=("DEBUG", "INFO", "WARNING", "ERROR"),
@@ -714,6 +756,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         parser.error("--resume requires --journal")
     if args.hotspots and args.profile is None:
         parser.error("--hotspots requires --profile")
+    if args.hotspots and args.backend != "local":
+        parser.error("--hotspots requires --backend local")
+    if (args.hosts or args.spool is not None) and args.backend != "queue":
+        parser.error("--hosts/--spool require --backend queue")
     from ..obs import configure_logging
 
     configure_logging(args.log_level)
@@ -733,6 +779,9 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         trace=args.trace,
         profile=args.profile,
         hotspot_top_n=args.hotspots,
+        backend=args.backend,
+        hosts=args.hosts,
+        spool=args.spool,
     )
     for scenario_type, outcomes in results.items():
         collisions = sum(o.collision for o in outcomes)

@@ -66,6 +66,8 @@ class Workload:
     family: str = ""
     budget: int = 0
     search_seed: int = 0
+    backend: str = "local"
+    hosts: int = 0
 
     def config(self) -> Dict[str, Any]:
         if self.kind == "search":
@@ -76,7 +78,7 @@ class Workload:
                 "search_seed": self.search_seed,
                 "jobs": self.jobs,
             }
-        return {
+        config = {
             "scenarios": list(self.scenarios),
             "seeds": list(self.seeds),
             "jobs": self.jobs,
@@ -84,6 +86,10 @@ class Workload:
             "deadline_ms": self.deadline_ms,
             "breaker": self.breaker,
         }
+        if self.backend != "local":
+            config["backend"] = self.backend
+            config["hosts"] = self.hosts
+        return config
 
 
 #: The pinned workload registry.  ``quick`` workloads are the CI set.
@@ -113,6 +119,16 @@ WORKLOADS: Dict[str, Workload] = {
             scenarios=("nominal",),
             seeds=(0, 1),
             jobs=4,
+            quick=True,
+        ),
+        Workload(
+            name="smoke-dist",
+            description="2 nominal runs over a 3-host work queue — dist-backend tripwire",
+            scenarios=("nominal",),
+            seeds=(0, 1),
+            jobs=1,
+            backend="queue",
+            hosts=3,
             quick=True,
         ),
         Workload(
@@ -201,7 +217,8 @@ def _run_campaign_pass(
     options = CampaignOptions(
         deadline_ms=workload.deadline_ms, breaker=workload.breaker
     )
-    with tempfile.TemporaryDirectory(prefix="repro-bench-") as profile_dir:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        profile_dir = Path(tmp) / "profile"
         results, report = execute_suite(
             scenario_types,
             workload.seeds,
@@ -210,8 +227,11 @@ def _run_campaign_pass(
             block_size=workload.block_size,
             progress=None,
             profile=profile_dir,
+            backend=workload.backend,
+            hosts=workload.hosts,
+            spool=Path(tmp) / "spool",
         )
-        merged = load_profile(Path(profile_dir) / "profile.json")
+        merged = load_profile(profile_dir / "profile.json")
     outcomes = [o for outcome_list in results.values() for o in outcome_list]
     summary = report.summary
     iterations = sum(o.iterations for o in outcomes)

@@ -42,6 +42,7 @@ from .trace import (
     JOB_FILE_NAME,
     TRACE_SUFFIX,
     TraceData,
+    _read_spool_manifest,
     discover_traces,
     load_trace,
     recompute_counts,
@@ -195,6 +196,15 @@ def discover_sources(root: "str | Path") -> List[Tuple[str, Path, Optional[str]]
     job: Optional[str] = None
     if (root / JOB_FILE_NAME).exists():
         job = root.name
+    spool = _read_spool_manifest(root)
+    if spool is not None:
+        # A `repro.dist` spool's traces live wherever its manifest points;
+        # relative names must be computed against that directory, not the
+        # spool itself.
+        trace_dir = spool.get("trace_dir")
+        if not trace_dir or not Path(trace_dir).is_dir():
+            return []
+        root = Path(trace_dir)
     for path in discover_traces(root):
         sources.append((str(path.relative_to(root)), path, job))
     return sources

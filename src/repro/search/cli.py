@@ -51,6 +51,16 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         "blocks amortize engine overhead without changing artifacts",
     )
     parser.add_argument(
+        "--backend", default="local", choices=("local", "queue"),
+        help="evaluation backend: 'local' (in-process pool) or 'queue' "
+        "(multi-host work queue under <out>/spool); artifacts are "
+        "identical either way",
+    )
+    parser.add_argument(
+        "--hosts", type=int, default=0, metavar="N",
+        help="with --backend queue: worker process count (0 = --jobs)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("search-out"),
         help="output directory (journal, trace, corpus, coverage, summary)",
     )
@@ -138,6 +148,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
             "jobs": args.jobs,
             "block_size": args.block_size,
             "timeout_s": args.timeout_s,
+            "backend": args.backend,
+            "hosts": args.hosts,
         }
     )
     return _run_driver(args, config)
@@ -162,6 +174,8 @@ def cmd_falsify(args: argparse.Namespace) -> int:
             "jobs": args.jobs,
             "block_size": args.block_size,
             "timeout_s": args.timeout_s,
+            "backend": args.backend,
+            "hosts": args.hosts,
         }
     )
     return _run_driver(args, config)

@@ -112,8 +112,12 @@ class SearchConfig:
     jobs: int = 1
     block_size: int = 1
     timeout_s: Optional[float] = None
+    backend: str = "local"
+    hosts: int = 0
 
     def __post_init__(self) -> None:
+        if self.backend not in ("local", "queue"):
+            raise ValueError(f"unknown backend {self.backend!r}")
         if self.mode not in ("explore", "falsify"):
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.sampler not in ("uniform", "lhs", "grid"):
@@ -147,7 +151,7 @@ class SearchConfig:
         data = normalized_field_values(cls, dict(data or {}))
         for field_name in ("seed", "budget", "batch", "elites", "grid_points",
                            "minimize_rounds", "max_counterexamples", "bins",
-                           "jobs", "block_size"):
+                           "jobs", "block_size", "hosts"):
             if data.get(field_name) is not None:
                 data[field_name] = int(data[field_name])
         if data.get("warmup") is not None:
@@ -212,6 +216,24 @@ class SearchDriver:
         self._trace_writer: Optional[TraceWriter] = None
         self._busy_time_s = 0.0
         self._engine_mode = "serial"
+        # One long-lived executor backend serves every evaluation batch
+        # (the queue backend keeps its worker fleet warm between rounds);
+        # created lazily, closed in run().
+        self._backend: "Optional[Any]" = None
+
+    def _engine_backend(self) -> "Optional[Any]":
+        if self.config.backend == "local":
+            return None
+        if self._backend is None:
+            from ..dist.backend import create_backend
+
+            self._backend = create_backend(
+                self.config.backend,
+                hosts=self.config.hosts or self.config.jobs,
+                spool=self.out_dir / "spool",
+                telemetry=self.telemetry,
+            )
+        return self._backend
 
     def spec_fingerprint(self) -> str:
         """Journal-header identity of this search spec.
@@ -332,6 +354,7 @@ class SearchDriver:
             # Batched STL scoring for whole blocks; bit-identical to the
             # per-unit scorer, so artifacts do not depend on block_size.
             block_fn=execute_search_block,
+            backend=self._engine_backend(),
         )
         report = engine.run(units).raise_on_error()
         summary = report.summary
@@ -373,6 +396,14 @@ class SearchDriver:
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
+        try:
+            return self._run()
+        finally:
+            if self._backend is not None:
+                self._backend.close()
+                self._backend = None
+
+    def _run(self) -> SearchResult:
         started = time.perf_counter()
         cfg = self.config
         self.out_dir.mkdir(parents=True, exist_ok=True)

@@ -50,7 +50,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     root.mkdir(parents=True, exist_ok=True)
     store = JobStore(root)
     scheduler = Scheduler(
-        store, workers=args.workers, max_jobs=args.max_jobs
+        store, workers=args.workers, max_jobs=args.max_jobs, backend=args.backend
     ).start()
     server, thread = serve(scheduler, host=args.host, port=args.port)
     import os
@@ -234,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-jobs", type=int, default=4,
         help="maximum concurrently running jobs",
+    )
+    p.add_argument(
+        "--backend", default="local", choices=("local", "queue"),
+        help="engine executor backend: 'local' (in-process pool) or "
+        "'queue' (each job shards over its slot allocation as spooled "
+        "host workers under <job_dir>/spool)",
     )
     p.add_argument(
         "--log-level", default="INFO",

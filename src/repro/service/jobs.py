@@ -211,6 +211,11 @@ class JobContext:
             settle point).
         resolve_job_dir: map another job id to its directory (used by
             ``replay`` jobs referencing a ``falsify`` job's corpus).
+        backend: executor backend for campaign/falsify engines —
+            ``"local"`` (in-process pool, the default) or ``"queue"``
+            (multi-host work queue spooled under ``<job_dir>/spool``).
+        telemetry: shared service registry so distributed-execution
+            counters land in the same ``/v1/metrics`` exposition.
     """
 
     job_dir: Path
@@ -218,6 +223,8 @@ class JobContext:
     progress: Optional[Callable[[Any], None]] = None
     cancel: Optional[Callable[[], bool]] = None
     resolve_job_dir: Optional[Callable[[str], Path]] = None
+    backend: str = "local"
+    telemetry: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -271,6 +278,30 @@ SEARCH_DIR_NAME = "search"
 REPORT_NAME = "report.json"
 
 
+#: Spool directory name for queue-backend jobs (see DESIGN.md §12).
+SPOOL_DIR_NAME = "spool"
+
+
+def _job_backend(ctx: JobContext):
+    """Build the job's executor backend, or ``None`` for the local pool.
+
+    A ``queue`` job shards its units over ``ctx.jobs`` host workers
+    spooled under the job directory — the spool survives as the job's
+    distributed-execution audit trail (``obs summarize <job_dir>/spool``).
+    The caller owns the returned backend and must ``close()`` it.
+    """
+    if ctx.backend in ("", "local", None):
+        return None
+    from ..dist import create_backend
+
+    return create_backend(
+        ctx.backend,
+        hosts=ctx.jobs,
+        spool=ctx.job_dir / SPOOL_DIR_NAME,
+        telemetry=ctx.telemetry,
+    )
+
+
 def _campaign_parts(spec: Dict[str, Any]):
     """Decode a campaign job payload into (scenarios, seeds, options)."""
     from ..experiments.campaign import DEFAULT_SEEDS, CampaignOptions
@@ -317,18 +348,24 @@ def run_campaign_job(spec: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
     scenarios, seeds, options = _campaign_parts(spec)
     trace = ctx.job_dir / TRACE_DIR_NAME if spec.get("trace", True) else None
     profile = ctx.job_dir / PROFILE_DIR_NAME if spec.get("profile") else None
-    results, report = execute_suite(
-        scenarios,
-        seeds,
-        options,
-        jobs=ctx.jobs,
-        journal=ctx.job_dir / JOURNAL_NAME,
-        resume=True,
-        progress=ctx.progress,
-        trace=trace,
-        profile=profile,
-        cancel=ctx.cancel,
-    )
+    backend = _job_backend(ctx)
+    try:
+        results, report = execute_suite(
+            scenarios,
+            seeds,
+            options,
+            jobs=ctx.jobs,
+            journal=ctx.job_dir / JOURNAL_NAME,
+            resume=True,
+            progress=ctx.progress,
+            trace=trace,
+            profile=profile,
+            cancel=ctx.cancel,
+            backend=backend,
+        )
+    finally:
+        if backend is not None:
+            backend.close()
     report_path = write_campaign_report(results, ctx.job_dir / REPORT_NAME, options)
     summary = report.summary
     return {
@@ -369,7 +406,12 @@ def run_falsify_job(spec: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
     )
 
     config = SearchConfig.from_dict(
-        {**(spec.get("config") or {}), "jobs": ctx.jobs}
+        {
+            **(spec.get("config") or {}),
+            "jobs": ctx.jobs,
+            "backend": ctx.backend or "local",
+            "hosts": ctx.jobs,
+        }
     )
     options = CampaignOptions.from_dict(spec.get("options"))
     trace = ctx.job_dir / TRACE_DIR_NAME if spec.get("trace") else None

@@ -70,6 +70,22 @@ class TestTruncationTolerance:
         assert state.completed_keys() == {"good"}
         assert state.corrupt_lines == 3
 
+    def test_torn_multibyte_tail_is_skipped(self, tmp_path):
+        # A kill -9 can land mid-UTF-8-sequence; the loader must treat
+        # the torn tail as one corrupt line, not raise UnicodeDecodeError.
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.write_header("fp", total=2)
+            journal.append_task("k1", "ok", attempts=1, elapsed_s=0.1, result=1)
+        # Unterminated record torn mid-UTF-8-sequence (0xC3 needs a
+        # continuation byte that never made it to disk).
+        with path.open("ab") as fh:
+            fh.write(b'{"kind": "task", "key": "k2", "error": "caf\xc3')
+
+        state = load_journal(path)
+        assert state.completed_keys() == {"k1"}
+        assert state.corrupt_lines == 1
+
     def test_append_resumes_existing_file(self, tmp_path):
         path = tmp_path / "j.jsonl"
         with RunJournal(path) as journal:
